@@ -1,0 +1,1 @@
+bench/exp_a2.ml: Causalb_core Causalb_net Causalb_sim Causalb_util Exp_common Fun Hashtbl List

@@ -1,0 +1,1 @@
+bench/exp_a4.ml: Causalb_core Causalb_graph Causalb_net Causalb_sim Causalb_util Exp_common Hashtbl List Option Printf

@@ -1,0 +1,1 @@
+bench/exp_common.ml: Causalb_harness

@@ -1,0 +1,1 @@
+bench/exp_figures.ml: Array Causalb_core Causalb_data Causalb_graph Causalb_net Causalb_protocols Causalb_sim Causalb_util Char Exp_common Format List Option Printf String

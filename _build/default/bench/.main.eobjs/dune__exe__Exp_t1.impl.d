@@ -1,0 +1,1 @@
+bench/exp_t1.ml: Causalb_sim Causalb_util Exp_common List Printf

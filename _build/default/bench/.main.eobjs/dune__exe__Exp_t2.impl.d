@@ -1,0 +1,1 @@
+bench/exp_t2.ml: Causalb_util Exp_common Float List Printf

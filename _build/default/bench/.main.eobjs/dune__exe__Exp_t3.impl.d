@@ -1,0 +1,1 @@
+bench/exp_t3.ml: Causalb_util Exp_common List Printf

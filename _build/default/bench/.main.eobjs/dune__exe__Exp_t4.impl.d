@@ -1,0 +1,1 @@
+bench/exp_t4.ml: Causalb_protocols Causalb_sim Causalb_util Exp_common List Printf

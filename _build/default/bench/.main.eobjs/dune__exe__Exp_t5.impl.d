@@ -1,0 +1,1 @@
+bench/exp_t5.ml: Causalb_protocols Causalb_sim Causalb_util Exp_common List Printf

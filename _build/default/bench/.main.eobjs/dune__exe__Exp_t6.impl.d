@@ -1,0 +1,1 @@
+bench/exp_t6.ml: Array Causalb_core Causalb_graph Causalb_net Causalb_sim Causalb_util Exp_common Hashtbl List Printf

@@ -1,0 +1,1 @@
+bench/exp_t7.ml: Causalb_core Causalb_data Causalb_graph Causalb_net Causalb_sim Causalb_util Exp_common List Printf

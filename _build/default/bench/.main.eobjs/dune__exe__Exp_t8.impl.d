@@ -1,0 +1,1 @@
+bench/exp_t8.ml: Causalb_data Causalb_protocols Causalb_sim Causalb_util Exp_common List Printf

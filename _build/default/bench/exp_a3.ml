@@ -1,0 +1,73 @@
+(* A3 (ablation) — stability-based garbage collection of the repair
+   stash.  Without GC every member retains every message forever (the
+   repair source can be anyone); with the summary watermark protocol,
+   globally stable messages are pruned and the stash stays bounded
+   regardless of run length. *)
+
+module Engine = Causalb_sim.Engine
+module Latency = Causalb_sim.Latency
+module Net = Causalb_net.Net
+module Fault = Causalb_net.Fault
+module Rgroup = Causalb_core.Rgroup
+module Dep = Causalb_graph.Dep
+module Table = Causalb_util.Table
+
+let run_one ~ops ~gc =
+  let engine = Engine.create ~seed:29 () in
+  let net =
+    Net.create engine ~nodes:4
+      ~latency:(Latency.lognormal ~mu:0.3 ~sigma:0.7 ())
+      ~fault:(Fault.make ~drop_prob:0.1 ())
+      ()
+  in
+  let g = Rgroup.create net () in
+  Rgroup.enable_heartbeat ~gc g ~period:15.0
+    ~until:(float_of_int ops +. 1_000.0);
+  for i = 0 to ops - 1 do
+    Engine.schedule_at engine ~time:(float_of_int i *. 1.0) (fun () ->
+        ignore (Rgroup.osend g ~src:(i mod 4) ~dep:Dep.null i))
+  done;
+  Engine.run engine;
+  let complete =
+    List.for_all (fun o -> List.length o = ops) (Rgroup.all_delivered_orders g)
+  in
+  (g, complete)
+
+let run () =
+  let t =
+    Table.create
+      ~title:
+        "A3: repair-stash size with and without stability GC (4 nodes, 10% \
+         loss, heartbeat 15ms)"
+      ~columns:
+        [
+          "ops";
+          "peak no-gc";
+          "final no-gc";
+          "peak gc";
+          "final gc";
+          "pruned";
+          "complete";
+        ]
+  in
+  List.iter
+    (fun ops ->
+      let without, c1 = run_one ~ops ~gc:false in
+      let with_gc, c2 = run_one ~ops ~gc:true in
+      Table.add_row t
+        [
+          string_of_int ops;
+          string_of_int (Rgroup.stash_peak without);
+          string_of_int (Rgroup.stash_size without);
+          string_of_int (Rgroup.stash_peak with_gc);
+          string_of_int (Rgroup.stash_size with_gc);
+          string_of_int (Rgroup.pruned with_gc);
+          string_of_bool (c1 && c2);
+        ])
+    [ 100; 400; 1_600 ];
+  Table.print t;
+  print_endline
+    "Expected shape: without GC the stash equals the whole history (grows\n\
+     with ops); with the watermark protocol the peak plateaus at roughly\n\
+     the traffic of one heartbeat interval, independent of run length —\n\
+     and recovery still completes."

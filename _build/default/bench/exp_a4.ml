@@ -1,0 +1,116 @@
+(* A4 (ablation) — the OR-dependency extension.  The paper's relation (3)
+   is an AND over ancestors; we additionally support
+   [Occurs_After (m1 ∨ m2 ∨ …)] — "deliverable once any alternative has
+   been processed".  The classic use is first-response coordination: a
+   requester broadcasts, the other members answer, and the requester's
+   follow-up (a commit) needs only the fastest answer, not all of them.
+
+   The commit's predicate still names every ack; AND delivery waits for
+   the slowest responder at every member, OR delivery proceeds on the
+   locally-fastest one.  We measure the requester's request→commit
+   round-trip under growing link variance. *)
+
+module Engine = Causalb_sim.Engine
+module Latency = Causalb_sim.Latency
+module Net = Causalb_net.Net
+module Group = Causalb_core.Group
+module Message = Causalb_core.Message
+module Dep = Causalb_graph.Dep
+module Label = Causalb_graph.Label
+module Stats = Causalb_util.Stats
+module Table = Causalb_util.Table
+
+type payload = Req of int | Ack of int | Commit of int
+
+let nodes = 6
+
+let rounds = 50
+
+let run ~any ~sigma =
+  let engine = Engine.create ~seed:61 () in
+  let net =
+    Net.create engine ~nodes
+      ~latency:(Latency.lognormal ~mu:0.5 ~sigma ())
+      ~fifo:false ()
+  in
+  let issue = Hashtbl.create 64 in
+  let lat = Stats.create () in
+  let acks : (int, Label.t list) Hashtbl.t = Hashtbl.create 64 in
+  let commit_sent = Hashtbl.create 64 in
+  let group_ref = ref None in
+  let on_deliver ~node ~time msg =
+    let group = Option.get !group_ref in
+    match Message.payload msg with
+    | Req round ->
+      if node <> 0 then
+        ignore
+          (Group.osend group ~src:node
+             ~dep:(Dep.after (Message.label msg))
+             (Ack round))
+    | Ack round ->
+      if node = 0 then begin
+        let prev =
+          Message.label msg
+          :: Option.value ~default:[] (Hashtbl.find_opt acks round)
+        in
+        Hashtbl.replace acks round prev;
+        (* OR: fire on the first ack; AND: once all acks are known (so
+           both predicates name the same full alternative set) *)
+        let fire =
+          if any then not (Hashtbl.mem commit_sent round)
+          else List.length prev = nodes - 1
+        in
+        if fire && not (Hashtbl.mem commit_sent round) then begin
+          Hashtbl.replace commit_sent round ();
+          let dep =
+            if any then Dep.after_any prev else Dep.after_all prev
+          in
+          ignore (Group.osend group ~src:0 ~dep (Commit round))
+        end
+      end
+    | Commit round ->
+      if node = 0 then (
+        match Hashtbl.find_opt issue round with
+        | Some t0 -> Stats.add lat (time -. t0)
+        | None -> ())
+  in
+  let group = Group.create net ~on_deliver () in
+  group_ref := Some group;
+  for round = 0 to rounds - 1 do
+    Engine.schedule_at engine ~time:(float_of_int round *. 40.0) (fun () ->
+        Hashtbl.replace issue round (Engine.now engine);
+        ignore (Group.osend group ~src:0 ~dep:Dep.null (Req round)))
+  done;
+  Engine.run engine;
+  lat
+
+let run () =
+  let t =
+    Table.create
+      ~title:
+        "A4: OR-dependency extension — request/ack/commit round-trip at \
+         the requester (6 nodes, 50 rounds)"
+      ~columns:
+        [ "sigma"; "AND p50"; "AND p95"; "OR p50"; "OR p95"; "OR speedup p95" ]
+  in
+  List.iter
+    (fun sigma ->
+      let all = run ~any:false ~sigma in
+      let any = run ~any:true ~sigma in
+      Table.add_row t
+        [
+          Printf.sprintf "%.1f" sigma;
+          Exp_common.fmt (Stats.percentile all 50.0);
+          Exp_common.fmt (Stats.percentile all 95.0);
+          Exp_common.fmt (Stats.percentile any 50.0);
+          Exp_common.fmt (Stats.percentile any 95.0);
+          Printf.sprintf "%.2fx"
+            (Stats.percentile all 95.0 /. Stats.percentile any 95.0);
+        ])
+    [ 0.4; 0.8; 1.2; 1.6 ];
+  Table.print t;
+  print_endline
+    "Expected shape: the OR commit launches on the first ack instead of\n\
+     the slowest, so its round-trip tracks the minimum of the responder\n\
+     delays rather than the maximum; the gap grows with link variance\n\
+     (a straight-line consequence of order statistics)."

@@ -1,0 +1,4 @@
+(* The experiment drivers live in the reusable (and unit-tested)
+   causalb.harness library; the bench modules keep their historical
+   [Exp_common.*] spelling through this alias. *)
+include Causalb_harness.Drivers

@@ -1,0 +1,154 @@
+(* T6 — semantic vs incidental ordering (footnote 1, refs [3,9]): the same
+   workload through the explicit-dependency OSend engine and the
+   vector-clock BSS engine.  BSS treats everything a sender had delivered
+   as a dependency ("incidental ordering"), so semantically concurrent
+   messages get false dependencies: forced waits and delivery-delay
+   inflation that grow with latency variance.
+
+   Workload: each node alternates between extending its own causal chain
+   (real dependency) and emitting an independent message (no semantic
+   dependency).  OSend states exactly the chain edges; BSS infers a
+   superset. *)
+
+module Engine = Causalb_sim.Engine
+module Latency = Causalb_sim.Latency
+module Net = Causalb_net.Net
+module Group = Causalb_core.Group
+module Osend = Causalb_core.Osend
+module Bss = Causalb_core.Bss
+module Dep = Causalb_graph.Dep
+module Stats = Causalb_util.Stats
+module Table = Causalb_util.Table
+
+let nodes = 5
+
+let ops = 250
+
+let spacing = 0.4
+
+(* Per-node last chain label, for the OSend variant. *)
+let run_osend ~seed ~latency =
+  let engine = Engine.create ~seed () in
+  let net = Net.create engine ~nodes ~latency ~fifo:false () in
+  let sent = Hashtbl.create 256 in
+  let lat = Stats.create () in
+  let group =
+    Group.create net
+      ~on_deliver:(fun ~node:_ ~time m ->
+        match Hashtbl.find_opt sent (Causalb_core.Message.payload m) with
+        | Some t0 -> Stats.add lat (time -. t0)
+        | None -> ())
+      ()
+  in
+  let chains = Array.make nodes Dep.null in
+  for i = 0 to ops - 1 do
+    let src = i mod nodes in
+    let chained = i mod 2 = 0 in
+    Engine.schedule_at engine ~time:(float_of_int i *. spacing) (fun () ->
+        Hashtbl.replace sent i (Engine.now engine);
+        if chained then begin
+          let lbl = Group.osend group ~src ~dep:chains.(src) i in
+          chains.(src) <- Dep.after lbl
+        end
+        else ignore (Group.osend group ~src ~dep:Dep.null i))
+  done;
+  Engine.run engine;
+  let waits =
+    List.init nodes (fun n -> Osend.buffered_ever (Group.member group n))
+    |> List.fold_left ( + ) 0
+  in
+  (lat, waits)
+
+let run_psync ~seed ~latency =
+  let engine = Engine.create ~seed () in
+  let net = Net.create engine ~nodes ~latency ~fifo:false () in
+  let sent = Hashtbl.create 256 in
+  let lat = Stats.create () in
+  let p =
+    Causalb_core.Psync.create net
+      ~on_deliver:(fun ~node:_ ~time m ->
+        match Hashtbl.find_opt sent (Causalb_core.Message.payload m) with
+        | Some t0 -> Stats.add lat (time -. t0)
+        | None -> ())
+      ()
+  in
+  for i = 0 to ops - 1 do
+    let src = i mod nodes in
+    Engine.schedule_at engine ~time:(float_of_int i *. spacing) (fun () ->
+        Hashtbl.replace sent i (Engine.now engine);
+        ignore (Causalb_core.Psync.send p ~src i))
+  done;
+  Engine.run engine;
+  (lat, Causalb_core.Psync.buffered_ever p)
+
+let run_bss ~seed ~latency =
+  let engine = Engine.create ~seed () in
+  let net = Net.create engine ~nodes ~latency ~fifo:false () in
+  let sent = Hashtbl.create 256 in
+  let lat = Stats.create () in
+  let group =
+    Bss.Group.create net
+      ~on_deliver:(fun ~node:_ ~time e ->
+        match Hashtbl.find_opt sent e.Bss.tag with
+        | Some t0 -> Stats.add lat (time -. t0)
+        | None -> ())
+      ()
+  in
+  for i = 0 to ops - 1 do
+    let src = i mod nodes in
+    Engine.schedule_at engine ~time:(float_of_int i *. spacing) (fun () ->
+        let tag = string_of_int i in
+        Hashtbl.replace sent tag (Engine.now engine);
+        Bss.Group.bcast group ~src ~tag i)
+  done;
+  Engine.run engine;
+  let waits =
+    List.init nodes (fun n -> Bss.buffered_ever (Bss.Group.member group n))
+    |> List.fold_left ( + ) 0
+  in
+  (lat, waits)
+
+let run () =
+  let t =
+    Table.create
+      ~title:
+        "T6: explicit (OSend) vs inferred (BSS vector clocks) causality — \
+         5 nodes, 250 ops, half chained / half independent"
+      ~columns:
+        [
+          "sigma";
+          "osend p95";
+          "psync p95";
+          "bss p95";
+          "osend waits";
+          "psync waits";
+          "bss waits";
+          "bss/osend p95";
+        ]
+  in
+  List.iter
+    (fun sigma ->
+      let latency = Latency.lognormal ~mu:0.5 ~sigma () in
+      let o_lat, o_waits = run_osend ~seed:17 ~latency in
+      let p_lat, p_waits = run_psync ~seed:17 ~latency in
+      let b_lat, b_waits = run_bss ~seed:17 ~latency in
+      Table.add_row t
+        [
+          Printf.sprintf "%.1f" sigma;
+          Exp_common.fmt (Exp_common.p95 o_lat);
+          Exp_common.fmt (Exp_common.p95 p_lat);
+          Exp_common.fmt (Exp_common.p95 b_lat);
+          string_of_int o_waits;
+          string_of_int p_waits;
+          string_of_int b_waits;
+          Printf.sprintf "%.2fx" (Exp_common.p95 b_lat /. Exp_common.p95 o_lat);
+        ])
+    [ 0.2; 0.6; 1.0; 1.4; 1.8 ];
+  Table.print t;
+  print_endline
+    "Expected shape: both incidental-ordering substrates (Psync\n\
+     conversations and BSS vector clocks) force waits that the explicit\n\
+     semantic dependencies avoid, and their tail latency inflates with\n\
+     link variance; OSend only ever waits on declared chain edges.  The\n\
+     footnote's point is mechanism-independent: it is *what relation* is\n\
+     captured (potential vs semantic causality), not how it is encoded."

@@ -1,0 +1,1 @@
+examples/card_game.ml: Causalb_protocols Causalb_sim Causalb_util Printf

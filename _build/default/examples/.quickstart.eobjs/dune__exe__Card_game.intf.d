@@ -1,0 +1,1 @@
+examples/card_game.mli:

@@ -1,0 +1,1 @@
+examples/chat.ml: Array Causalb_data Causalb_sim List Printf

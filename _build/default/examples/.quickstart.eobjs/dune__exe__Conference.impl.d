@@ -1,0 +1,1 @@
+examples/conference.ml: Causalb_data Causalb_protocols Causalb_sim List Printf

@@ -1,0 +1,1 @@
+examples/file_service.ml: Array Causalb_core Causalb_net Causalb_sim List Map Printf String

@@ -1,0 +1,1 @@
+examples/locking.ml: Causalb_protocols Causalb_sim Causalb_util Char List Printf String

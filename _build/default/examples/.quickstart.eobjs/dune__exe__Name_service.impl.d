@@ -1,0 +1,1 @@
+examples/name_service.ml: Array Causalb_protocols Causalb_sim Causalb_util List Printf

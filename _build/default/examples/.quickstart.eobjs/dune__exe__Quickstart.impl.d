@@ -1,0 +1,1 @@
+examples/quickstart.ml: Causalb_data Causalb_sim Causalb_util List Printf

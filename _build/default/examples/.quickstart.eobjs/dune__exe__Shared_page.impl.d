@@ -1,0 +1,1 @@
+examples/shared_page.ml: Causalb_protocols Causalb_sim Char List Printf

@@ -1,0 +1,62 @@
+(* The multiplayer card game of §5.1: relaxed causal turn order vs strict
+   turn-taking.
+
+   In the relaxed game, player l waits only for the card of some earlier
+   player k < l-1, so several players think concurrently; the paper's
+   point is that the weaker ordering is "reflected in higher concurrency".
+   We run both modes on the same seed and print the per-round timings.
+
+   Run with:  dune exec examples/card_game.exe *)
+
+module Engine = Causalb_sim.Engine
+module Latency = Causalb_sim.Latency
+module Cards = Causalb_protocols.Card_game
+module Stats = Causalb_util.Stats
+module Table = Causalb_util.Table
+
+let play ~mode ~label =
+  let engine = Engine.create ~seed:7 () in
+  let game =
+    Cards.create engine ~players:6 ~mode
+      ~latency:(Latency.lognormal ~mu:0.3 ~sigma:0.6 ())
+      ~think:(Latency.exponential ~mean:3.0 ())
+      ()
+  in
+  Cards.start game ~rounds:5;
+  Engine.run engine;
+  assert (Cards.check_causal_order game);
+  assert (Cards.check_tables_agree game);
+  Printf.printf "%s: %d rounds, mean round %.2f ms, %d messages\n" label
+    (Cards.rounds_completed game)
+    (Stats.mean (Cards.round_durations game))
+    (Cards.messages_sent game);
+  Cards.round_durations game
+
+let () =
+  print_endline "six players, five rounds, same think times\n";
+  let strict = play ~mode:Cards.Strict_turns ~label:"strict turns " in
+  (* every non-opener depends only on the opener's card: maximal overlap *)
+  let relaxed =
+    play ~mode:(Cards.Relaxed (fun ~round:_ ~player:_ -> 0)) ~label:"relaxed (k=0)"
+  in
+  let half =
+    play
+      ~mode:(Cards.Relaxed (fun ~round:_ ~player -> player / 2))
+      ~label:"relaxed (k=l/2)"
+  in
+  let t =
+    Table.create ~title:"round duration (ms)"
+      ~columns:[ "ordering"; "mean"; "p95" ]
+  in
+  let row name s =
+    Table.add_row t
+      [ name; Table.fmt_float (Stats.mean s); Table.fmt_float (Stats.percentile s 95.0) ]
+  in
+  row "strict turns" strict;
+  row "relaxed k=l/2" half;
+  row "relaxed k=0" relaxed;
+  print_newline ();
+  Table.print t;
+  print_endline
+    "The weaker the causal constraints, the shorter the rounds — the\n\
+     paper's 'relaxed ordering = higher concurrency' claim."

@@ -1,0 +1,56 @@
+(* Decentralized lock arbitration (paper §6.2, Fig. 5).
+
+   Members broadcast LOCK requests; the requests of one cycle are totally
+   ordered through their causal dependencies on the previous cycle's TFR
+   messages, and a deterministic arbiter picks the same holder sequence at
+   every member — consensus with zero extra messages.
+
+   Run with:  dune exec examples/locking.exe *)
+
+module Engine = Causalb_sim.Engine
+module Latency = Causalb_sim.Latency
+module Lock = Causalb_protocols.Lock_service
+module Stats = Causalb_util.Stats
+
+let () =
+  let engine = Engine.create ~seed:5 () in
+  let lock =
+    Lock.create engine ~members:3
+      ~latency:(Latency.lognormal ~mu:0.4 ~sigma:0.8 ())
+      ~hold:(Latency.exponential ~mean:2.0 ())
+      ()
+  in
+  Lock.start lock ~cycles:3;
+  Engine.run engine;
+
+  print_endline "grants (cycle, holder, grant..release):";
+  List.iter
+    (fun g ->
+      Printf.printf "  S=%d holder=%c  %7.2f .. %7.2f ms\n" g.Lock.cycle
+        (Char.chr (Char.code 'A' + g.Lock.holder))
+        g.Lock.grant_time g.Lock.release_time)
+    (Lock.grants lock);
+
+  Printf.printf "\ncycles completed: %d\n" (Lock.cycles_completed lock);
+  Printf.printf "mean cycle duration: %.2f ms\n"
+    (Stats.mean (Lock.cycle_durations lock));
+  Printf.printf "mean wait for grant: %.2f ms\n"
+    (Stats.mean (Lock.wait_times lock));
+  Printf.printf "messages: %d\n" (Lock.messages_sent lock);
+
+  Printf.printf "mutual exclusion: %s\n"
+    (if Lock.check_mutual_exclusion lock then "ok" else "VIOLATED");
+  Printf.printf "identical arbitration at all members: %s\n"
+    (if Lock.check_agreement lock then "ok" else "VIOLATED");
+  Printf.printf "liveness: %s\n"
+    (if Lock.check_liveness lock ~expected_cycles:3 then "ok" else "VIOLATED");
+
+  print_endline "\narbitration orders as computed locally by member A:";
+  List.iter
+    (fun (cycle, order) ->
+      Printf.printf "  S=%d: %s\n" cycle
+        (String.concat " -> "
+           (List.map
+              (fun m -> String.make 1 (Char.chr (Char.code 'A' + m)))
+              order)))
+    (Lock.arbitration_orders lock 0)

@@ -1,0 +1,1 @@
+lib/clock/lamport.ml: Format Int

@@ -1,0 +1,17 @@
+type t = int
+
+let zero = 0
+
+let of_int n =
+  if n < 0 then invalid_arg "Lamport.of_int: negative";
+  n
+
+let to_int t = t
+
+let tick t = t + 1
+
+let receive ~local ~remote = max local remote + 1
+
+let compare = Int.compare
+
+let pp ppf t = Format.fprintf ppf "L%d" t

@@ -1,0 +1,26 @@
+(** Lamport scalar clocks (Lamport 1978, the paper's reference [6]).
+
+    A scalar clock provides a total order consistent with causality but
+    cannot detect concurrency; it is used here for tie-breaking inside the
+    deterministic-merge total orderer ({!Causalb_core.Asend}) and as the
+    weakest point on the "ordering information" spectrum measured by
+    experiment T6. *)
+
+type t = private int
+
+val zero : t
+
+val of_int : int -> t
+(** @raise Invalid_argument on a negative value. *)
+
+val to_int : t -> int
+
+val tick : t -> t
+(** Local event: advance by one. *)
+
+val receive : local:t -> remote:t -> t
+(** Merge on message receipt: [max local remote + 1]. *)
+
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,44 @@
+type t = Vector_clock.t array (* row j = view of process j's vector clock *)
+
+let create n =
+  if n <= 0 then invalid_arg "Matrix_clock.create: size must be positive";
+  Array.init n (fun _ -> Vector_clock.create n)
+
+let size = Array.length
+
+let check_index m j =
+  if j < 0 || j >= Array.length m then
+    invalid_arg "Matrix_clock: process index out of range"
+
+let row m j =
+  check_index m j;
+  m.(j)
+
+let update_row m j v =
+  check_index m j;
+  let m' = Array.copy m in
+  m'.(j) <- Vector_clock.merge m'.(j) v;
+  m'
+
+let merge a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Matrix_clock.merge: size mismatch";
+  Array.init (Array.length a) (fun j -> Vector_clock.merge a.(j) b.(j))
+
+let min_vector m =
+  let n = Array.length m in
+  let mins =
+    Array.init n (fun i ->
+        Array.fold_left
+          (fun acc rowv -> min acc (Vector_clock.get rowv i))
+          max_int m)
+  in
+  Vector_clock.of_array mins
+
+let stable m ~event_owner ~event_stamp =
+  Array.for_all (fun rowv -> Vector_clock.get rowv event_owner >= event_stamp) m
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>";
+  Array.iteri (fun j v -> Format.fprintf ppf "%d: %a@," j Vector_clock.pp v) m;
+  Format.fprintf ppf "@]"

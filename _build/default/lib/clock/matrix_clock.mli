@@ -1,0 +1,37 @@
+(** Matrix clocks: each process tracks its view of every other process's
+    vector clock.
+
+    Row [j] of process [i]'s matrix is [i]'s latest knowledge of [j]'s
+    vector clock.  The componentwise minimum over all rows lower-bounds
+    what *everyone* is known to have seen, which is exactly the stability
+    test needed by the deterministic-merge total orderer: a message is
+    stable once every member is known to have received it, at which point
+    its relative order can be fixed identically everywhere without further
+    communication. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the all-zero matrix for an [n]-process group. *)
+
+val size : t -> int
+
+val row : t -> int -> Vector_clock.t
+(** [row m j] is the vector clock attributed to process [j]. *)
+
+val update_row : t -> int -> Vector_clock.t -> t
+(** Functional row replacement (used on message receipt when the sender
+    piggybacks its vector clock). *)
+
+val merge : t -> t -> t
+(** Componentwise maximum of all rows. *)
+
+val min_vector : t -> Vector_clock.t
+(** Componentwise minimum across rows: events known to be seen by all. *)
+
+val stable : t -> event_owner:int -> event_stamp:int -> bool
+(** [stable m ~event_owner ~event_stamp] iff every row records at least
+    [event_stamp] in component [event_owner] — i.e. the event is known to
+    have reached every member. *)
+
+val pp : Format.formatter -> t -> unit

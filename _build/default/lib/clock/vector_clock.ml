@@ -1,0 +1,67 @@
+type t = int array
+
+type ordering = Before | After | Equal | Concurrent
+
+let create n =
+  if n <= 0 then invalid_arg "Vector_clock.create: size must be positive";
+  Array.make n 0
+
+let size = Array.length
+
+let check_index v i =
+  if i < 0 || i >= Array.length v then
+    invalid_arg "Vector_clock: process index out of range"
+
+let get v i =
+  check_index v i;
+  v.(i)
+
+let tick v i =
+  check_index v i;
+  let v' = Array.copy v in
+  v'.(i) <- v'.(i) + 1;
+  v'
+
+let check_sizes a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Vector_clock: size mismatch"
+
+let merge a b =
+  check_sizes a b;
+  Array.init (Array.length a) (fun i -> max a.(i) b.(i))
+
+let receive ~local ~remote ~me = tick (merge local remote) me
+
+let leq a b =
+  check_sizes a b;
+  let ok = ref true in
+  Array.iteri (fun i x -> if x > b.(i) then ok := false) a;
+  !ok
+
+let equal a b =
+  check_sizes a b;
+  a = b
+
+let lt a b = leq a b && not (equal a b)
+
+let concurrent a b = (not (leq a b)) && not (leq b a)
+
+let compare_causal a b =
+  if equal a b then Equal
+  else if leq a b then Before
+  else if leq b a then After
+  else Concurrent
+
+let dominates_all v vs = List.for_all (fun u -> leq u v) vs
+
+let of_array a =
+  if Array.length a = 0 then invalid_arg "Vector_clock.of_array: empty";
+  Array.copy a
+
+let to_array v = Array.copy v
+
+let pp ppf v =
+  Format.fprintf ppf "[%s]"
+    (String.concat ";" (Array.to_list (Array.map string_of_int v)))
+
+let to_string v = Format.asprintf "%a" pp v

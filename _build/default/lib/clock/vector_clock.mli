@@ -1,0 +1,60 @@
+(** Vector clocks over a fixed group of [n] processes.
+
+    Vector timestamps characterise Lamport's happens-before exactly: for
+    events [e], [f] with timestamps [V(e)], [V(f)], [e → f] iff
+    [V(e) < V(f)] componentwise.  The Birman–Schiper–Stephenson causal
+    broadcast baseline ({!Causalb_core.Bss}) piggybacks a vector clock on
+    every message; experiment T6 compares the dependencies it *infers*
+    against the explicit dependencies the application states via [OSend]. *)
+
+type t
+
+(** Result of comparing two vector timestamps under the causal partial
+    order. *)
+type ordering =
+  | Before      (** strictly happens-before *)
+  | After       (** strictly happens-after *)
+  | Equal
+  | Concurrent
+
+val create : int -> t
+(** [create n] is the zero vector for an [n]-process group.
+    @raise Invalid_argument if [n <= 0]. *)
+
+val size : t -> int
+
+val get : t -> int -> int
+(** Component for process [i].  @raise Invalid_argument if out of range. *)
+
+val tick : t -> int -> t
+(** [tick v i] increments component [i] — a local event at process [i]. *)
+
+val merge : t -> t -> t
+(** Componentwise maximum (least upper bound).
+    @raise Invalid_argument on size mismatch. *)
+
+val receive : local:t -> remote:t -> me:int -> t
+(** Message-receipt rule: merge then tick own component. *)
+
+val compare_causal : t -> t -> ordering
+
+val leq : t -> t -> bool
+(** [leq a b] iff [a] ≤ [b] componentwise. *)
+
+val lt : t -> t -> bool
+(** Strictly less: [leq] and differing in some component. *)
+
+val concurrent : t -> t -> bool
+
+val equal : t -> t -> bool
+
+val dominates_all : t -> t list -> bool
+(** [dominates_all v vs] iff every element of [vs] is ≤ [v]. *)
+
+val of_array : int array -> t
+
+val to_array : t -> int array
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/core/asend.ml: Array Causalb_clock Causalb_graph Causalb_net Causalb_sim Causalb_util Group Int List Message

@@ -1,0 +1,1 @@
+lib/core/asend.mli: Causalb_graph Causalb_net Causalb_sim Group Message

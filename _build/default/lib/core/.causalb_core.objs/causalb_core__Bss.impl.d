@@ -1,0 +1,1 @@
+lib/core/bss.ml: Array Causalb_clock Causalb_net Causalb_sim List

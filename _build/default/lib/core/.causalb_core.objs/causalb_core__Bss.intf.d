@@ -1,0 +1,1 @@
+lib/core/bss.mli: Causalb_clock Causalb_net

@@ -1,0 +1,1 @@
+lib/core/checker.ml: Causalb_graph Format List

@@ -1,0 +1,1 @@
+lib/core/fifo.ml: Array Causalb_net Causalb_sim List

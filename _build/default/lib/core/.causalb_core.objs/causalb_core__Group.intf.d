@@ -1,0 +1,1 @@
+lib/core/group.mli: Causalb_graph Causalb_net Causalb_sim Message Osend

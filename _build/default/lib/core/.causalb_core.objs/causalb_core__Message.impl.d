@@ -1,0 +1,1 @@
+lib/core/message.ml: Causalb_graph Format

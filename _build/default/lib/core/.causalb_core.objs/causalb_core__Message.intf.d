@@ -1,0 +1,1 @@
+lib/core/message.mli: Causalb_graph Format

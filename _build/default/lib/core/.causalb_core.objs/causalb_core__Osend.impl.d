@@ -1,0 +1,1 @@
+lib/core/osend.ml: Causalb_graph List Message

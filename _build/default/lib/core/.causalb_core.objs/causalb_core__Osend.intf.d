@@ -1,0 +1,1 @@
+lib/core/osend.mli: Causalb_graph Message

@@ -1,0 +1,1 @@
+lib/core/psync.ml: Array Causalb_graph Causalb_net Causalb_sim List Message Osend

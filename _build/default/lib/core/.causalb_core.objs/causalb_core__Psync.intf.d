@@ -1,0 +1,1 @@
+lib/core/psync.mli: Causalb_graph Causalb_net Message Osend

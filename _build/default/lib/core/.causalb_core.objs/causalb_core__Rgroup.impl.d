@@ -1,0 +1,1 @@
+lib/core/rgroup.ml: Array Causalb_graph Causalb_net Causalb_sim Hashtbl List Message Option Osend

@@ -1,0 +1,1 @@
+lib/core/rgroup.mli: Causalb_graph Causalb_net Message Osend

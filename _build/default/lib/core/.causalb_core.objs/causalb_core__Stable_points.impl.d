@@ -1,0 +1,1 @@
+lib/core/stable_points.ml: Causalb_graph List Message

@@ -1,0 +1,1 @@
+lib/core/stable_points.mli: Causalb_graph Message

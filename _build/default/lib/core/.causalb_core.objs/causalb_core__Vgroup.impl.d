@@ -1,0 +1,1 @@
+lib/core/vgroup.ml: Array Causalb_graph Causalb_net Causalb_sim Hashtbl Int List Message Option Osend Printf

@@ -1,0 +1,1 @@
+lib/core/vgroup.mli: Causalb_graph Causalb_net Message

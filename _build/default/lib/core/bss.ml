@@ -1,0 +1,115 @@
+module Vc = Causalb_clock.Vector_clock
+module Net = Causalb_net.Net
+module Engine = Causalb_sim.Engine
+
+type 'a envelope = { sender : int; stamp : Vc.t; tag : string; payload : 'a }
+
+type 'a member = {
+  id : int;
+  n : int;
+  deliver : 'a envelope -> unit;
+  mutable delivered : int array; (* per-origin delivered count *)
+  mutable own_sends : int;
+  mutable pending : 'a envelope list; (* arrival order, reversed *)
+  mutable tags_rev : string list;
+  mutable delivered_n : int;
+  mutable buffered_ever : int;
+}
+
+let member ~id ~group_size ?(deliver = fun _ -> ()) () =
+  if group_size <= 0 then invalid_arg "Bss.member: group_size must be positive";
+  {
+    id;
+    n = group_size;
+    deliver;
+    delivered = Array.make group_size 0;
+    own_sends = 0;
+    pending = [];
+    tags_rev = [];
+    delivered_n = 0;
+    buffered_ever = 0;
+  }
+
+let deliverable t (e : 'a envelope) =
+  let ok = ref (Vc.get e.stamp e.sender = t.delivered.(e.sender) + 1) in
+  for k = 0 to t.n - 1 do
+    if k <> e.sender && Vc.get e.stamp k > t.delivered.(k) then ok := false
+  done;
+  !ok
+
+let do_deliver t e =
+  t.delivered.(e.sender) <- t.delivered.(e.sender) + 1;
+  t.tags_rev <- e.tag :: t.tags_rev;
+  t.delivered_n <- t.delivered_n + 1;
+  t.deliver e
+
+let rec drain t =
+  let pending = List.rev t.pending in
+  let ready, blocked = List.partition (deliverable t) pending in
+  if ready <> [] then begin
+    t.pending <- List.rev blocked;
+    List.iter (do_deliver t) ready;
+    drain t
+  end
+
+let receive t e =
+  (* Duplicate or stale copies (stamp component not above the delivered
+     count) are discarded. *)
+  if Vc.get e.stamp e.sender <= t.delivered.(e.sender) then ()
+  else if deliverable t e then begin
+    do_deliver t e;
+    drain t
+  end
+  else begin
+    t.buffered_ever <- t.buffered_ever + 1;
+    t.pending <- e :: t.pending
+  end
+
+let delivered_tags t = List.rev t.tags_rev
+
+let delivered_count t = t.delivered_n
+
+let pending_count t = List.length t.pending
+
+let buffered_ever t = t.buffered_ever
+
+let clock t =
+  (* Own component counts own sends (each send ticks it); the other
+     components are the per-origin delivered counts — everything the
+     member has potentially been influenced by. *)
+  let v = Array.copy t.delivered in
+  v.(t.id) <- t.own_sends;
+  Vc.of_array v
+
+module Group = struct
+  type 'a t = { net : 'a envelope Net.t; members : 'a member array }
+
+  let create net ?(on_deliver = fun ~node:_ ~time:_ _ -> ()) () =
+    let n = Net.nodes net in
+    let engine = Net.engine net in
+    let make_member node =
+      let deliver e = on_deliver ~node ~time:(Engine.now engine) e in
+      member ~id:node ~group_size:n ~deliver ()
+    in
+    let members = Array.init n make_member in
+    for node = 0 to n - 1 do
+      Net.set_handler net node (fun ~src:_ e -> receive members.(node) e)
+    done;
+    { net; members }
+
+  let size t = Array.length t.members
+
+  let bcast t ~src ?(tag = "") payload =
+    let m = t.members.(src) in
+    m.own_sends <- m.own_sends + 1;
+    (* Stamp: delivered counts with own component = own send count.  This
+       is the classic BSS stamp — it encodes everything the sender has
+       delivered (potential causes) plus its own send sequence. *)
+    let stamp = clock m in
+    let e = { sender = src; stamp; tag; payload } in
+    Net.broadcast t.net ~src e
+
+  let member t i = t.members.(i)
+
+  let delivered_tags t i = delivered_tags t.members.(i)
+end

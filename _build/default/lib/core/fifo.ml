@@ -1,0 +1,87 @@
+module Net = Causalb_net.Net
+module Engine = Causalb_sim.Engine
+
+type 'a envelope = { sender : int; seq : int; tag : string; payload : 'a }
+
+type 'a member = {
+  id : int;
+  deliver : 'a envelope -> unit;
+  next_seq : int array; (* expected next per origin *)
+  mutable pending : 'a envelope list;
+  mutable tags_rev : string list;
+  mutable delivered_n : int;
+}
+
+let member ~id ~group_size ?(deliver = fun _ -> ()) () =
+  if group_size <= 0 then invalid_arg "Fifo.member: group_size must be positive";
+  {
+    id;
+    deliver;
+    next_seq = Array.make group_size 0;
+    pending = [];
+    tags_rev = [];
+    delivered_n = 0;
+  }
+
+let deliverable t e = e.seq = t.next_seq.(e.sender)
+
+let do_deliver t e =
+  t.next_seq.(e.sender) <- e.seq + 1;
+  t.tags_rev <- e.tag :: t.tags_rev;
+  t.delivered_n <- t.delivered_n + 1;
+  t.deliver e
+
+let rec drain t =
+  let pending = List.rev t.pending in
+  let ready, blocked = List.partition (deliverable t) pending in
+  if ready <> [] then begin
+    t.pending <- List.rev blocked;
+    List.iter (do_deliver t) ready;
+    drain t
+  end
+
+let receive t e =
+  if e.seq < t.next_seq.(e.sender) then () (* duplicate *)
+  else if deliverable t e then begin
+    do_deliver t e;
+    drain t
+  end
+  else t.pending <- e :: t.pending
+
+let delivered_tags t = List.rev t.tags_rev
+
+let delivered_count t = t.delivered_n
+
+let pending_count t = List.length t.pending
+
+module Group = struct
+  type 'a t = {
+    net : 'a envelope Net.t;
+    members : 'a member array;
+    seqs : int array;
+  }
+
+  let create net ?(on_deliver = fun ~node:_ ~time:_ _ -> ()) () =
+    let n = Net.nodes net in
+    let engine = Net.engine net in
+    let make_member node =
+      let deliver e = on_deliver ~node ~time:(Engine.now engine) e in
+      member ~id:node ~group_size:n ~deliver ()
+    in
+    let members = Array.init n make_member in
+    for node = 0 to n - 1 do
+      Net.set_handler net node (fun ~src:_ e -> receive members.(node) e)
+    done;
+    { net; members; seqs = Array.make n 0 }
+
+  let size t = Array.length t.members
+
+  let bcast t ~src ?(tag = "") payload =
+    let seq = t.seqs.(src) in
+    t.seqs.(src) <- seq + 1;
+    Net.broadcast t.net ~src { sender = src; seq; tag; payload }
+
+  let member t i = t.members.(i)
+
+  let delivered_tags t i = delivered_tags t.members.(i)
+end

@@ -1,0 +1,20 @@
+module Label = Causalb_graph.Label
+module Dep = Causalb_graph.Dep
+
+type 'a t = { label : Label.t; sender : int; dep : Dep.t; payload : 'a }
+
+let make ~label ~sender ~dep payload = { label; sender; dep; payload }
+
+let label t = t.label
+
+let sender t = t.sender
+
+let dep t = t.dep
+
+let payload t = t.payload
+
+let map f t = { t with payload = f t.payload }
+
+let pp pp_payload ppf t =
+  Format.fprintf ppf "@[<h>%a@ %a@ from=%d@ payload=%a@]" Label.pp t.label
+    Dep.pp t.dep t.sender pp_payload t.payload

@@ -1,0 +1,34 @@
+(** Wire envelope of the causal broadcast layer.
+
+    An [OSend(Msg, G, Occurs_After(…))] call produces one envelope: the
+    payload plus exactly the causality information the paper says must
+    travel with it — the message's own label and its ordering predicate.
+    Because every member receives every envelope, each member can rebuild
+    the identical dependency graph (§3: the graph is stable information). *)
+
+type 'a t = {
+  label : Causalb_graph.Label.t;
+  sender : int;
+  dep : Causalb_graph.Dep.t;
+  payload : 'a;
+}
+
+val make :
+  label:Causalb_graph.Label.t ->
+  sender:int ->
+  dep:Causalb_graph.Dep.t ->
+  'a ->
+  'a t
+
+val label : 'a t -> Causalb_graph.Label.t
+
+val sender : 'a t -> int
+
+val dep : 'a t -> Causalb_graph.Dep.t
+
+val payload : 'a t -> 'a
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+
+val pp :
+  (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit

@@ -1,0 +1,83 @@
+module Net = Causalb_net.Net
+module Engine = Causalb_sim.Engine
+module Label = Causalb_graph.Label
+module Dep = Causalb_graph.Dep
+
+type 'a member = {
+  id : int;
+  engine_member : 'a Osend.t;
+  mutable leaves : Label.Set.t;
+      (* received messages that no received message depends on — the
+         context the next send attaches *)
+}
+
+type 'a t = {
+  net : 'a Message.t Net.t;
+  members : 'a member array;
+  seqs : int array;
+  mutable context_total : int;
+}
+
+(* Track leaves from *received* (not merely delivered) messages: context
+   is what the process has seen, and the graph keeps it consistent. *)
+let note_received m (msg : 'a Message.t) =
+  let ancestors = Dep.ancestors (Message.dep msg) in
+  m.leaves <-
+    Label.Set.add (Message.label msg)
+      (List.fold_left (fun acc a -> Label.Set.remove a acc) m.leaves ancestors)
+
+let create net ?(on_deliver = fun ~node:_ ~time:_ _ -> ()) () =
+  let n = Net.nodes net in
+  let engine = Net.engine net in
+  let members =
+    Array.init n (fun id ->
+        let deliver msg = on_deliver ~node:id ~time:(Engine.now engine) msg in
+        {
+          id;
+          engine_member = Osend.create ~id ~deliver ();
+          leaves = Label.Set.empty;
+        })
+  in
+  let t = { net; members; seqs = Array.make n 0; context_total = 0 } in
+  for node = 0 to n - 1 do
+    Net.set_handler net node (fun ~src:_ msg ->
+        let m = members.(node) in
+        note_received m msg;
+        Osend.receive m.engine_member msg)
+  done;
+  t
+
+let size t = Array.length t.members
+
+let send t ~src ?name payload =
+  let m = t.members.(src) in
+  let seq = t.seqs.(src) in
+  t.seqs.(src) <- seq + 1;
+  let label = Label.make ?name ~origin:src ~seq () in
+  let context = Label.Set.elements m.leaves in
+  t.context_total <- t.context_total + List.length context;
+  let msg =
+    Message.make ~label ~sender:src ~dep:(Dep.after_all context) payload
+  in
+  (* local copy: the sender's own message immediately becomes its sole
+     leaf *)
+  note_received m msg;
+  Osend.receive m.engine_member msg;
+  Net.broadcast t.net ~src ~self:false msg;
+  label
+
+let member t i = t.members.(i).engine_member
+
+let leaves_at t i = Label.Set.elements t.members.(i).leaves
+
+let delivered_order t i = Osend.delivered_order (member t i)
+
+let all_delivered_orders t =
+  List.init (size t) (fun i -> delivered_order t i)
+
+let buffered_ever t =
+  Array.fold_left
+    (fun acc m -> acc + Osend.buffered_ever m.engine_member)
+    0 t.members
+
+let context_size_total t = t.context_total

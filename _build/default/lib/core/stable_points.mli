@@ -1,0 +1,53 @@
+(** Stable-point detection (paper §4.1, §5.1, §6.1).
+
+    The §6.1 access protocol processes messages in repetitive cycles
+    [rqst_nc(r−1) → ‖{rqst_c(r,k)} → rqst_nc(r)]: a non-commutative
+    message opens/closes a cycle and the interior is a set of concurrent
+    commutative messages.  Each member runs one tracker over its causal
+    delivery sequence; because the closing message causally depends on the
+    whole interior set, every member closes each cycle on the same message
+    set — a stable point detected {e locally}, with no agreement round.
+
+    The tracker also hosts deferred actions (the paper's deferred reads,
+    §5.1): an action registered mid-window runs at the next stable point,
+    when the member's state is guaranteed to agree with every other
+    member's. *)
+
+type class_ =
+  | Sync        (** non-commutative: closes the current window *)
+  | Concurrent  (** commutative: joins the current window *)
+
+type point = {
+  cycle : int;                            (** 0-based cycle number *)
+  window : Causalb_graph.Label.t list;    (** interior set, delivery order *)
+  closed_by : Causalb_graph.Label.t;      (** the sync message *)
+}
+
+type 'a t
+
+val create :
+  classify:('a Message.t -> class_) ->
+  ?on_stable:(point -> unit) ->
+  unit ->
+  'a t
+
+val on_deliver : 'a t -> 'a Message.t -> unit
+(** Feed each causally delivered message, in delivery order. *)
+
+val defer : 'a t -> (point -> unit) -> unit
+(** Run the action at the next stable point (after [on_stable]). *)
+
+val cycles_closed : 'a t -> int
+
+val points : 'a t -> point list
+(** All stable points so far, oldest first. *)
+
+val open_window : 'a t -> Causalb_graph.Label.t list
+(** Interior messages of the currently open cycle. *)
+
+val deferred_count : 'a t -> int
+
+val window_sets : 'a t -> Causalb_graph.Label.Set.t list
+(** The interior of each closed cycle as a set — the unit at which members
+    must agree (order within a window may differ across members; the set
+    may not). *)

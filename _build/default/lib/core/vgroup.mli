@@ -1,0 +1,118 @@
+(** Dynamic group membership with virtually synchronous view changes.
+
+    The paper's model runs inside a process group (§3: "organizing various
+    entities as members of a group") and leans on ISIS-style virtual
+    synchrony [2] for the guarantee that members share the same message
+    view.  This module supplies that substrate: processes join and leave,
+    membership changes are delivered as totally ordered {e views}, and
+    message delivery is {e virtually synchronous} — all members that
+    survive from view [k] to view [k+1] deliver the identical set of
+    view-[k] messages before installing view [k+1].
+
+    Protocol (flush-based, reliable transport assumed):
+    {ol
+    {- the view coordinator (smallest member id) serialises membership
+       requests and broadcasts an [Announce] for view [k+1] inside
+       view [k];}
+    {- on delivering the announce, each view-[k] member stops sending
+       (sends are queued), and broadcasts a [Flush] that [Occurs_After]
+       the announce and everything the member itself sent in view [k] —
+       so by causal delivery, every view-[k] message precedes the last
+       flush at every member;}
+    {- a member installs view [k+1] once it has delivered every member's
+       flush; queued sends then drain into the new view;}
+    {- joiners receive the announce and a state snapshot from the
+       coordinator (application-provided [get_state]/[set_state]), then
+       start participating in view [k+1] directly.}}
+
+    Each view runs its own causal delivery engine; application causal
+    dependencies are per-view (a view boundary is already a global
+    barrier, so cross-view dependencies are implied). *)
+
+type view = { vid : int; members : int list }
+
+type ('a, 's) packet
+(** The wire packet type; create the network as
+    [Net.create engine ~nodes () : (_, _) Vgroup.packet Net.t]. *)
+
+type ('a, 's) t
+
+val create :
+  ('a, 's) packet Causalb_net.Net.t ->
+  initial:int list ->
+  ?on_deliver:(node:int -> vid:int -> time:float -> 'a Message.t -> unit) ->
+  ?on_view:(node:int -> view -> unit) ->
+  ?get_state:(node:int -> 's) ->
+  ?set_state:(node:int -> 's -> unit) ->
+  unit ->
+  ('a, 's) t
+(** [initial] members install view 0 immediately.  [get_state node] is
+    called at the coordinator to snapshot application state for a joiner;
+    [set_state node s] installs it at the joiner before its first view. *)
+
+val bcast : ('a, 's) t -> src:int -> ?name:string -> 'a -> unit
+(** Causal broadcast within the sender's current view (FIFO-chained per
+    sender: each message [Occurs_After] the sender's previous one).
+    Queued while a view change is in progress; @raise Invalid_argument if
+    [src] is not a member and not joining. *)
+
+val send :
+  ('a, 's) t ->
+  src:int ->
+  ?name:string ->
+  ?after:Causalb_graph.Label.t list ->
+  'a ->
+  Causalb_graph.Label.t option
+(** Like {!bcast} but with an explicit [Occurs_After] set ([after] must
+    name labels of the sender's current view).  Returns the assigned
+    label, or [None] if the send was queued because a view change is in
+    flight — queued sends are re-issued in the next view with plain
+    sender-FIFO chaining, since their stated ancestors died with the old
+    view. *)
+
+val is_changing : ('a, 's) t -> int -> bool
+(** Whether a view change is in progress at this node (sends would be
+    queued). *)
+
+val join : ('a, 's) t -> node:int -> unit
+(** Ask the current coordinator to add [node] in the next view. *)
+
+val leave : ('a, 's) t -> node:int -> unit
+(** Ask the coordinator to remove [node]. *)
+
+val crash : ('a, 's) t -> node:int -> unit
+(** Crash-stop [node]: it instantly stops sending, receiving and
+    processing.  Unlike {!leave}, no flush will come from it; call
+    {!report_failure} (the failure-detector hook) to have the membership
+    exclude it. *)
+
+val report_failure : ('a, 's) t -> node:int -> unit
+(** Failure-detector verdict delivered to the coordinator: announce a new
+    view without [node].  The flush round then {e stabilises} the crashed
+    member's traffic — each survivor's flush relays every message it
+    received from the crashed sender in the closing view, and survivors
+    stop accepting the crashed sender's direct copies once they have
+    flushed, so a crashed message is in the view iff it reached some
+    survivor before that survivor flushed, in which case it reaches all.
+    The coordinator itself may be the crashed node; the next-smallest
+    live member takes over. *)
+
+val is_crashed : ('a, 's) t -> int -> bool
+
+val view_of : ('a, 's) t -> int -> view option
+(** The node's currently installed view, if any. *)
+
+val views_seen : ('a, 's) t -> int -> view list
+(** All views the node has installed, oldest first. *)
+
+val delivered_in_view : ('a, 's) t -> int -> vid:int -> Causalb_graph.Label.t list
+
+val is_member : ('a, 's) t -> int -> bool
+
+val check_virtual_synchrony : ('a, 's) t -> bool
+(** For every closed view and every pair of members that installed it,
+    the delivered message sets are identical; and within each view every
+    delivery order is causally safe. *)
+
+val check_views_agree : ('a, 's) t -> bool
+(** All nodes agree on the membership of every view id they installed. *)

@@ -1,0 +1,1 @@
+lib/data/consistency.ml: Causalb_graph List Replica State_machine

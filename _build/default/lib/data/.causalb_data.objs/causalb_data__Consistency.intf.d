@@ -1,0 +1,1 @@
+lib/data/consistency.mli: Replica State_machine

@@ -1,0 +1,1 @@
+lib/data/datatypes.ml: Array Buffer Format Int List Map Op Printf Set State_machine String

@@ -1,0 +1,1 @@
+lib/data/datatypes.mli: Format Map Set State_machine String

@@ -1,0 +1,1 @@
+lib/data/dservice.ml: Array Causalb_core Causalb_graph Causalb_net Causalb_sim Fun List Op Option State_machine

@@ -1,0 +1,1 @@
+lib/data/dservice.mli: Causalb_sim State_machine

@@ -1,0 +1,1 @@
+lib/data/frontend.ml: Causalb_core Causalb_graph List Op

@@ -1,0 +1,1 @@
+lib/data/frontend.mli: Causalb_core Causalb_graph Op

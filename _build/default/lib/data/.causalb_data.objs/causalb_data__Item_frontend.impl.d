@@ -1,0 +1,1 @@
+lib/data/item_frontend.ml: Causalb_core Causalb_graph Hashtbl List Op

@@ -1,0 +1,1 @@
+lib/data/op.ml: Causalb_core Format

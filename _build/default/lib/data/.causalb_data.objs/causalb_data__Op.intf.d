@@ -1,0 +1,1 @@
+lib/data/op.mli: Causalb_core Format

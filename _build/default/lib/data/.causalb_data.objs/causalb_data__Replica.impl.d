@@ -1,0 +1,1 @@
+lib/data/replica.ml: Causalb_core Causalb_graph List Op State_machine

@@ -1,0 +1,1 @@
+lib/data/replica.mli: Causalb_core Causalb_graph State_machine

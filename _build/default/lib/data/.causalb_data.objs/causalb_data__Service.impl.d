@@ -1,0 +1,1 @@
+lib/data/service.ml: Array Causalb_core Causalb_graph Causalb_net Causalb_sim Causalb_util Consistency Frontend Fun List Option Replica State_machine

@@ -1,0 +1,1 @@
+lib/data/service.mli: Causalb_core Causalb_graph Causalb_net Causalb_sim Causalb_util Frontend Replica State_machine

@@ -1,0 +1,1 @@
+lib/data/state_machine.ml: Format List Op

@@ -1,0 +1,1 @@
+lib/data/workflow.ml: Causalb_core Causalb_graph List Map Option Printf String

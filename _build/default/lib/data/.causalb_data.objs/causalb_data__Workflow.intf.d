@@ -1,0 +1,1 @@
+lib/data/workflow.mli: Causalb_core Causalb_graph

@@ -1,0 +1,90 @@
+module Label = Causalb_graph.Label
+
+let snapshots_prefixes ~machine replicas =
+  let all = List.map Replica.snapshots replicas in
+  let shortest =
+    List.fold_left (fun acc l -> min acc (List.length l)) max_int all
+  in
+  let shortest = if shortest = max_int then 0 else shortest in
+  let truncate l = List.filteri (fun i _ -> i < shortest) l in
+  (machine, List.map truncate all, shortest)
+
+let first_disagreement ~machine replicas =
+  let _, prefixes, len = snapshots_prefixes ~machine replicas in
+  match prefixes with
+  | [] | [ _ ] -> None
+  | first :: rest ->
+    let eq = machine.State_machine.equal in
+    let rec scan i =
+      if i >= len then None
+      else begin
+        let s0 = List.nth first i in
+        if List.for_all (fun l -> eq s0 (List.nth l i)) rest then scan (i + 1)
+        else Some i
+      end
+    in
+    scan 0
+
+let agreement_at_stable_points ~machine replicas =
+  first_disagreement ~machine replicas = None
+
+let window_sets_agree replicas =
+  let sets r =
+    List.map
+      (fun c -> Label.Set.of_list (List.map fst c.Replica.window))
+      (Replica.cycles r)
+  in
+  match List.map sets replicas with
+  | [] | [ _ ] -> true
+  | first :: rest ->
+    let agree a b =
+      let rec loop a b =
+        match (a, b) with
+        | [], _ | _, [] -> true
+        | x :: xs, y :: ys -> Label.Set.equal x y && loop xs ys
+      in
+      loop a b
+    in
+    List.for_all (agree first) rest
+
+let windows_transition_preserving ~machine replica =
+  let check_cycle c =
+    let ops = List.map snd c.Replica.window in
+    let rec pairs = function
+      | [] -> true
+      | a :: rest ->
+        List.for_all (State_machine.commute_at machine c.Replica.start_state a) rest
+        && pairs rest
+    in
+    pairs ops
+  in
+  List.for_all check_cycle (Replica.cycles replica)
+
+let serial_witness ~machine replica =
+  let eq = machine.State_machine.equal in
+  let replay (state, ok, acc) c =
+    let ops =
+      List.map snd c.Replica.window @ [ snd c.Replica.closed_by ]
+    in
+    let state' = List.fold_left machine.State_machine.apply state ops in
+    (state', ok && eq state' c.Replica.end_state, List.rev_append ops acc)
+  in
+  let _, ok, acc =
+    List.fold_left replay (machine.State_machine.init, true, [])
+      (Replica.cycles replica)
+  in
+  if ok then Some (List.rev acc) else None
+
+let divergence_fraction ~machine ~states =
+  let eq = machine.State_machine.equal in
+  let diverged sample =
+    match sample with
+    | [] | [ _ ] -> false
+    | first :: rest -> not (List.for_all (eq first) rest)
+  in
+  match states with
+  | [] -> 0.0
+  | _ ->
+    let total = List.length states in
+    let bad = List.length (List.filter diverged states) in
+    float_of_int bad /. float_of_int total

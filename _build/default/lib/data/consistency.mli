@@ -1,0 +1,61 @@
+(** Replica-consistency verifiers (paper §4–6).
+
+    These predicates give the paper's informal guarantees an executable
+    form; the test suite asserts them on simulated runs and the harness
+    uses them as run-time sanity checks:
+
+    {ul
+    {- {b agreement at stable points}: all replicas pass through the same
+       sequence of stable states (§4.1 — stable points are reproducible);}
+    {- {b window agreement}: each closed cycle contains the same operation
+       set at every replica, though possibly in different orders (§3.2);}
+    {- {b transition preservation}: every window's operations pairwise
+       commute from the window's start state, so any interleaving reaches
+       the same stable state (§4.1, §5.1);}
+    {- {b one-copy serializability}: the common stable-state sequence is
+       produced by some single serial execution of all operations (§2.2's
+       claim that [inc → rd] ordering "also guarantees 1-copy
+       serializability").}} *)
+
+val agreement_at_stable_points :
+  machine:('op, 'state) State_machine.t ->
+  ('op, 'state) Replica.t list ->
+  bool
+(** Snapshots agree cycle-by-cycle on the common prefix of closed
+    cycles. *)
+
+val first_disagreement :
+  machine:('op, 'state) State_machine.t ->
+  ('op, 'state) Replica.t list ->
+  int option
+(** Earliest cycle index at which two replicas' stable states differ. *)
+
+val window_sets_agree : ('op, 'state) Replica.t list -> bool
+(** Same label set in every replica's cycle [i], for the common prefix. *)
+
+val windows_transition_preserving :
+  machine:('op, 'state) State_machine.t ->
+  ('op, 'state) Replica.t ->
+  bool
+(** For every closed cycle: all pairs of interior operations commute from
+    the cycle's start state ([F(mb, F(ma, s)) = F(ma, F(mb, s))]); with
+    the closing sync applied last this makes every interleaving reach the
+    cycle's [end_state]. *)
+
+val serial_witness :
+  machine:('op, 'state) State_machine.t ->
+  ('op, 'state) Replica.t ->
+  'op list option
+(** A single serial schedule (the replica's own applied order) that
+    reproduces every stable state — [Some ops] iff replaying the
+    replica's cycles sequentially through [machine] reproduces each
+    recorded [end_state] (one-copy serializability witness). *)
+
+val divergence_fraction :
+  machine:('op, 'state) State_machine.t ->
+  states:'state list list ->
+  float
+(** Given per-sample lists of replica states (e.g. sampled by the harness
+    at fixed virtual-time intervals), the fraction of samples in which at
+    least two replicas disagreed — the paper's "tolerated transient
+    inconsistency between stable points". *)

@@ -1,0 +1,44 @@
+module Group = Causalb_core.Group
+module Dep = Causalb_graph.Dep
+module Label = Causalb_graph.Label
+
+type 'op t = {
+  group : 'op Group.t;
+  kind : 'op -> Op.kind;
+  mutable last_sync : Label.t option;
+  mutable window : Label.t list; (* {Cid}, reversed *)
+  mutable submitted : int;
+  mutable cycles : int;
+}
+
+let create group ~kind () =
+  { group; kind; last_sync = None; window = []; submitted = 0; cycles = 0 }
+
+let after_last_sync t =
+  match t.last_sync with None -> Dep.null | Some l -> Dep.after l
+
+let submit t ~src ?name op =
+  t.submitted <- t.submitted + 1;
+  match t.kind op with
+  | Op.Commutative ->
+    let label = Group.osend t.group ~src ?name ~dep:(after_last_sync t) op in
+    t.window <- label :: t.window;
+    label
+  | Op.Non_commutative ->
+    let dep =
+      if t.window = [] then after_last_sync t
+      else Dep.after_all (List.rev t.window)
+    in
+    let label = Group.osend t.group ~src ?name ~dep op in
+    t.last_sync <- Some label;
+    t.window <- [];
+    t.cycles <- t.cycles + 1;
+    label
+
+let submitted t = t.submitted
+
+let cycles_opened t = t.cycles
+
+let window_size t = List.length t.window
+
+let last_sync t = t.last_sync

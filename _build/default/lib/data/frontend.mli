@@ -1,0 +1,44 @@
+(** Client front-end manager — the §6.1 code skeleton.
+
+    The manager keeps track of the commutative / non-commutative
+    operations generated so far and emits each request with the causal
+    order the protocol prescribes:
+
+    {ul
+    {- a {e commutative} request is ordered after the last non-commutative
+       message ([Occurs_After (Ncid_{r-1})]) and its label joins the
+       current window set [{Cid}_r];}
+    {- a {e non-commutative} request is ordered after the whole window
+       ([Occurs_After (∧{Cid}_r)]), or directly after [Ncid_{r-1}] when
+       the window is empty; it then becomes the new [Ncid_r] and the
+       window resets.}}
+
+    The resulting graph is exactly
+    [Ncid_{r−1} → ‖{Cid}_r → Ncid_{r+1}] — reproducible at every member,
+    so stable points need no agreement protocol.
+
+    One manager produces one globally consistent cycle structure; it can
+    be shared by any number of clients (pass their node id to [submit]).
+    Creating several independent managers models the §5.2 situation of
+    spontaneous, untracked sync messages — which is what the total-order
+    layer is for. *)
+
+type 'op t
+
+val create :
+  'op Causalb_core.Group.t -> kind:('op -> Op.kind) -> unit -> 'op t
+
+val submit :
+  'op t -> src:int -> ?name:string -> 'op -> Causalb_graph.Label.t
+(** Broadcast one request from node [src] with the §6.1 ordering. *)
+
+val submitted : 'op t -> int
+
+val cycles_opened : 'op t -> int
+(** Number of non-commutative requests emitted so far. *)
+
+val window_size : 'op t -> int
+(** Size of the currently open [{Cid}] set. *)
+
+val last_sync : 'op t -> Causalb_graph.Label.t option
+(** The current [Ncid_{r−1}] label. *)

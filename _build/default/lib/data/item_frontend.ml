@@ -1,0 +1,86 @@
+module Group = Causalb_core.Group
+module Dep = Causalb_graph.Dep
+module Label = Causalb_graph.Label
+
+type scope = Item of int | Global
+
+type item_state = {
+  mutable last_sync : Label.t option;
+  mutable window : Label.t list; (* reversed *)
+}
+
+type 'op t = {
+  group : 'op Group.t;
+  kind : 'op -> Op.kind;
+  scope : 'op -> scope;
+  items : (int, item_state) Hashtbl.t;
+  mutable last_global : Label.t option;
+  mutable submitted : int;
+}
+
+let create group ~kind ~scope () =
+  {
+    group;
+    kind;
+    scope;
+    items = Hashtbl.create 8;
+    last_global = None;
+    submitted = 0;
+  }
+
+let item_state t i =
+  match Hashtbl.find_opt t.items i with
+  | Some s -> s
+  | None ->
+    let s = { last_sync = None; window = [] } in
+    Hashtbl.replace t.items i s;
+    s
+
+(* The anchor of an item with no history of its own is the last global
+   sync: everything after a whole-state operation must follow it. *)
+let item_anchor t s =
+  match s.last_sync with
+  | Some l -> [ l ]
+  | None -> ( match t.last_global with Some g -> [ g ] | None -> [])
+
+let outstanding_of_item t s =
+  match s.window with [] -> item_anchor t s | w -> List.rev w
+
+let submit t ~src ?name op =
+  t.submitted <- t.submitted + 1;
+  match (t.scope op, t.kind op) with
+  | Item i, Op.Commutative ->
+    let s = item_state t i in
+    let dep = Dep.after_all (item_anchor t s) in
+    let label = Group.osend t.group ~src ?name ~dep op in
+    s.window <- label :: s.window;
+    label
+  | Item i, Op.Non_commutative ->
+    let s = item_state t i in
+    let dep = Dep.after_all (outstanding_of_item t s) in
+    let label = Group.osend t.group ~src ?name ~dep op in
+    s.last_sync <- Some label;
+    s.window <- [];
+    label
+  | Global, _ ->
+    (* follows every item's outstanding traffic, then resets the world *)
+    let ancestors =
+      Hashtbl.fold
+        (fun _ s acc -> outstanding_of_item t s @ acc)
+        t.items
+        (match t.last_global with Some g -> [ g ] | None -> [])
+    in
+    let dep = Dep.after_all ancestors in
+    let label = Group.osend t.group ~src ?name ~dep op in
+    Hashtbl.reset t.items;
+    t.last_global <- Some label;
+    label
+
+let submitted t = t.submitted
+
+let open_window t ~item =
+  match Hashtbl.find_opt t.items item with
+  | Some s -> List.length s.window
+  | None -> 0
+
+let items_tracked t = Hashtbl.length t.items

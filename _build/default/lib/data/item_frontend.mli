@@ -1,0 +1,48 @@
+(** Per-item window management — the §5.1 decomposition.
+
+    The paper: "This condition relates to decomposition of the data X̄
+    into distinct items and scoping out the effects of messages on these
+    items"; operations on distinct items never need mutual ordering, so a
+    non-commutative operation on item [x] should close {e only} item
+    [x]'s window, not the whole data's.
+
+    This front-end keeps one [{Cid}]/[Ncid] pair per item:
+
+    {ul
+    {- a commutative op on item [i] occurs after item [i]'s last sync;}
+    {- a non-commutative op on item [i] occurs after item [i]'s open
+       window (closing it) — item [j]'s traffic is untouched;}
+    {- a {e global} operation (e.g. a whole-state read) occurs after
+       every item's outstanding labels and resets them all.}}
+
+    Compared to the single-window {!Frontend}, ordering constraints drop
+    from "sync waits for everything" to "sync waits for its own item" —
+    the concurrency gain measured by experiment T7.
+
+    Consistency granularity follows the decomposition: at an item-[i]
+    sync, replicas agree on item [i]'s value (not on the whole state);
+    at a global sync they agree on everything.  The item-level agreement
+    check lives in the tests, via per-sync-label projections. *)
+
+type scope =
+  | Item of int
+  | Global
+
+type 'op t
+
+val create :
+  'op Causalb_core.Group.t ->
+  kind:('op -> Op.kind) ->
+  scope:('op -> scope) ->
+  unit ->
+  'op t
+
+val submit :
+  'op t -> src:int -> ?name:string -> 'op -> Causalb_graph.Label.t
+
+val submitted : 'op t -> int
+
+val open_window : 'op t -> item:int -> int
+(** Size of item [i]'s currently open window. *)
+
+val items_tracked : 'op t -> int

@@ -1,0 +1,40 @@
+(** Replicated state machines.
+
+    The paper models each member as a state machine driven by the
+    transition function [F : M × S → S] (relation (1)); consistency means
+    producing the same transitions at every replica as allowed by the
+    causal order (§5.1, referencing Schneider's state-machine approach).
+
+    A machine is a first-class record so the datatypes of
+    {!Causalb_data.Datatypes} are ordinary values and one replica
+    implementation serves them all. *)
+
+type ('op, 'state) t = {
+  name : string;
+  init : 'state;
+  apply : 'state -> 'op -> 'state;  (** the transition function [F] *)
+  kind : 'op -> Op.kind;
+  equal : 'state -> 'state -> bool;
+  pp_state : Format.formatter -> 'state -> unit;
+  pp_op : Format.formatter -> 'op -> unit;
+}
+
+val make :
+  name:string ->
+  init:'state ->
+  apply:('state -> 'op -> 'state) ->
+  kind:('op -> Op.kind) ->
+  equal:('state -> 'state -> bool) ->
+  ?pp_state:(Format.formatter -> 'state -> unit) ->
+  ?pp_op:(Format.formatter -> 'op -> unit) ->
+  unit ->
+  ('op, 'state) t
+
+val commute_at :
+  ('op, 'state) t -> 'state -> 'op -> 'op -> bool
+(** [commute_at m s a b] iff applying [a; b] and [b; a] from [s] reach
+    equal states — the paper's concurrency test [F(mb, F(ma, s)) =
+    F(ma, F(mb, s))]. *)
+
+val run : ('op, 'state) t -> 'op list -> 'state
+(** Fold the transition function over a sequence from [init]. *)

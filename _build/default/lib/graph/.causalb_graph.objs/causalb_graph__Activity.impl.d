@@ -1,0 +1,1 @@
+lib/graph/activity.ml: Dep Depgraph Format Label List

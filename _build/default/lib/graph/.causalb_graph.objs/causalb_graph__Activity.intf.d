@@ -1,0 +1,1 @@
+lib/graph/activity.mli: Depgraph Format Label

@@ -1,0 +1,1 @@
+lib/graph/dep.ml: Format Label List

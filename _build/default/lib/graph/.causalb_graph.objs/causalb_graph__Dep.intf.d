@@ -1,0 +1,1 @@
+lib/graph/dep.mli: Format Label

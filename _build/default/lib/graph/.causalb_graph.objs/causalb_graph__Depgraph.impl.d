@@ -1,0 +1,1 @@
+lib/graph/depgraph.ml: Buffer Dep Format Label List Option Printf

@@ -1,0 +1,1 @@
+lib/graph/depgraph.mli: Dep Format Label

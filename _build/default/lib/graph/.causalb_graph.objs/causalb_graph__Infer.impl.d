@@ -1,0 +1,1 @@
+lib/graph/infer.ml: Dep Depgraph Label List Printf

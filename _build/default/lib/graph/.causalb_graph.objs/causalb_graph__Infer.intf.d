@@ -1,0 +1,1 @@
+lib/graph/infer.mli: Dep Depgraph Label

@@ -1,0 +1,58 @@
+type t = {
+  opening : Label.t option;
+  body : Label.t list;
+  closing : Label.t option;
+}
+
+let fan ?opening ?closing ~body () = { opening; body; closing }
+
+let members t =
+  (match t.opening with Some l -> [ l ] | None -> [])
+  @ t.body
+  @ (match t.closing with Some l -> [ l ] | None -> [])
+
+let graph t =
+  let g = Depgraph.create () in
+  (match t.opening with Some l -> Depgraph.add g l ~dep:Dep.null | None -> ());
+  let body_dep =
+    match t.opening with Some l -> Dep.after l | None -> Dep.null
+  in
+  List.iter (fun l -> Depgraph.add g l ~dep:body_dep) t.body;
+  (match t.closing with
+  | Some l ->
+    let dep =
+      if t.body = [] then body_dep else Dep.after_all t.body
+    in
+    Depgraph.add g l ~dep
+  | None -> ());
+  g
+
+let final_states ?(limit = 10_000) ~apply ~equal ~init g =
+  let run seq = List.fold_left apply init seq in
+  let seqs = Depgraph.linearizations ~limit g in
+  List.fold_left
+    (fun acc seq ->
+      let s = run seq in
+      if List.exists (fun (s', _) -> equal s s') acc then acc
+      else (s, seq) :: acc)
+    [] seqs
+  |> List.rev
+
+let transition_preserving ?limit ~apply ~equal ~init g =
+  match final_states ?limit ~apply ~equal ~init g with
+  | [] | [ _ ] -> true
+  | _ :: _ :: _ -> false
+
+let is_stable_point ?limit ~apply ~equal ~init t =
+  transition_preserving ?limit ~apply ~equal ~init (graph t)
+
+let pp ppf t =
+  let pp_opt ppf = function
+    | Some l -> Label.pp ppf l
+    | None -> Format.pp_print_string ppf "-"
+  in
+  Format.fprintf ppf "%a -> ||{%a} -> %a" pp_opt t.opening
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Label.pp)
+    t.body pp_opt t.closing

@@ -1,0 +1,63 @@
+(** Causal activities and stable points (paper §4.1, §5.1).
+
+    A causal activity is a message set [K] with ordering relation [R(K)];
+    the paper's canonical shape is the fan
+    [m0 → ‖{m1 … mr} → m(r+1)] of §6.1, where the opening and closing
+    messages are non-commutative operations and the body is a set of
+    concurrent (commutative) ones.
+
+    A state reached by [R(K)] is a {e stable point} when every allowed
+    event sequence ([EvSeq_i], a linear extension of the graph) drives the
+    state-transition function to the same final state — the sequences are
+    {e transition-preserving}.  These checks are the executable form of
+    the paper's definition and are used both by tests and by the
+    consistency verifier. *)
+
+type t = {
+  opening : Label.t option;  (** [m0]; [None] for an initial activity *)
+  body : Label.t list;       (** the concurrent interior messages *)
+  closing : Label.t option;  (** [m(r+1)]; [None] while the cycle is open *)
+}
+
+val fan :
+  ?opening:Label.t -> ?closing:Label.t -> body:Label.t list -> unit -> t
+
+val members : t -> Label.t list
+(** All labels of the activity, opening first, closing last. *)
+
+val graph : t -> Depgraph.t
+(** The dependency graph [R(K)]:
+    [opening → each body message → closing] (AND-dependency on the whole
+    body, relation (3) of the paper). *)
+
+val transition_preserving :
+  ?limit:int ->
+  apply:('s -> Label.t -> 's) ->
+  equal:('s -> 's -> bool) ->
+  init:'s ->
+  Depgraph.t ->
+  bool
+(** Whether every linear extension of the graph (up to [limit], default
+    10_000 — activities in this codebase are small) reaches the same final
+    state from [init]. *)
+
+val final_states :
+  ?limit:int ->
+  apply:('s -> Label.t -> 's) ->
+  equal:('s -> 's -> bool) ->
+  init:'s ->
+  Depgraph.t ->
+  ('s * Label.t list) list
+(** The distinct final states, each with one witness sequence.  A result
+    of length 1 means the closing state is a stable point. *)
+
+val is_stable_point :
+  ?limit:int ->
+  apply:('s -> Label.t -> 's) ->
+  equal:('s -> 's -> bool) ->
+  init:'s ->
+  t ->
+  bool
+(** {!transition_preserving} applied to {!graph}. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,59 @@
+type t =
+  | Null
+  | After of Label.t
+  | After_all of Label.t list
+  | After_any of Label.t list
+
+let null = Null
+
+let after l = After l
+
+let dedup labels =
+  Label.Set.elements (Label.Set.of_list labels)
+
+let after_all labels =
+  match dedup labels with
+  | [] -> Null
+  | [ l ] -> After l
+  | ls -> After_all ls
+
+let after_any labels =
+  match dedup labels with
+  | [] -> Null
+  | [ l ] -> After l
+  | ls -> After_any ls
+
+let ancestors = function
+  | Null -> []
+  | After l -> [ l ]
+  | After_all ls | After_any ls -> ls
+
+let satisfied ~delivered = function
+  | Null -> true
+  | After l -> delivered l
+  | After_all ls -> List.for_all delivered ls
+  | After_any ls -> List.exists delivered ls
+
+let equal a b =
+  match (a, b) with
+  | Null, Null -> true
+  | After x, After y -> Label.equal x y
+  | After_all xs, After_all ys | After_any xs, After_any ys ->
+    List.length xs = List.length ys && List.for_all2 Label.equal xs ys
+  | (Null | After _ | After_all _ | After_any _), _ -> false
+
+let pp ppf = function
+  | Null -> Format.pp_print_string ppf "after()"
+  | After l -> Format.fprintf ppf "after(%a)" Label.pp l
+  | After_all ls ->
+    Format.fprintf ppf "after(%a)"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " /\\ ")
+         Label.pp)
+      ls
+  | After_any ls ->
+    Format.fprintf ppf "after(%a)"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " \\/ ")
+         Label.pp)
+      ls

@@ -1,0 +1,35 @@
+(** [Occurs_After] ordering predicates (paper §3.1–3.3).
+
+    The [OSend] primitive names the messages a new message must occur
+    after.  The paper's forms are [Null] (no constraint), a single
+    ancestor, and the AND-conjunction of relation (3)
+    [Occurs_After (Msg, m1 ∧ m2 ∧ …)].  [After_any] is our extension (an
+    OR-dependency: deliverable once any named ancestor is processed); it
+    is exercised by tests and one ablation but used by no paper protocol. *)
+
+type t =
+  | Null                          (** processable without constraint *)
+  | After of Label.t              (** m → Msg *)
+  | After_all of Label.t list     (** (m1 ∧ m2 ∧ …) → Msg *)
+  | After_any of Label.t list     (** extension: any one ancestor suffices *)
+
+val null : t
+
+val after : Label.t -> t
+
+val after_all : Label.t list -> t
+(** Normalises: empty list ≡ [Null], singleton ≡ [After]. *)
+
+val after_any : Label.t list -> t
+(** Normalises like {!after_all}. *)
+
+val ancestors : t -> Label.t list
+(** Every label mentioned by the predicate. *)
+
+val satisfied : delivered:(Label.t -> bool) -> t -> bool
+(** Whether the predicate allows delivery given the set of already
+    delivered messages. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

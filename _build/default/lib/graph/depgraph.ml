@@ -1,0 +1,279 @@
+type node = {
+  label : Label.t;
+  dep : Dep.t;
+  mutable children : Label.t list; (* reversed insertion order *)
+}
+
+type t = {
+  nodes : node Label.Tbl.t;
+  pending_children : Label.t list Label.Tbl.t;
+      (* ancestor not yet added -> children already registered; consumed
+         when the ancestor arrives, so edge sets are independent of the
+         order in which an observer sees the messages *)
+  mutable order : Label.t list; (* reversed insertion order *)
+  mutable n : int;
+}
+
+let create () =
+  {
+    nodes = Label.Tbl.create 64;
+    pending_children = Label.Tbl.create 16;
+    order = [];
+    n = 0;
+  }
+
+let mem g l = Label.Tbl.mem g.nodes l
+
+let size g = g.n
+
+let labels g = List.rev g.order
+
+let node g l =
+  match Label.Tbl.find_opt g.nodes l with
+  | Some n -> n
+  | None -> raise Not_found
+
+let dep_of g l = (node g l).dep
+
+let parents g l =
+  (* Only ancestors actually present in the graph: a predicate may name a
+     message the observer has not yet seen. *)
+  List.filter (mem g) (Dep.ancestors (node g l).dep)
+
+let children g l = List.rev (node g l).children
+
+let add g l ~dep =
+  if mem g l then
+    invalid_arg
+      (Printf.sprintf "Depgraph.add: duplicate label %s" (Label.to_string l));
+  (* Ancestors are messages that already exist (or will be filtered by
+     [parents] if the observer adds them later); a label can never name
+     itself, and since new nodes only point at older ones the graph is
+     acyclic by construction.  We still reject self-loops explicitly. *)
+  if List.exists (Label.equal l) (Dep.ancestors dep) then
+    invalid_arg "Depgraph.add: self-dependency";
+  let pending =
+    Option.value ~default:[] (Label.Tbl.find_opt g.pending_children l)
+  in
+  Label.Tbl.remove g.pending_children l;
+  let n = { label = l; dep; children = pending } in
+  Label.Tbl.add g.nodes l n;
+  g.order <- l :: g.order;
+  g.n <- g.n + 1;
+  List.iter
+    (fun anc ->
+      match Label.Tbl.find_opt g.nodes anc with
+      | Some a -> a.children <- l :: a.children
+      | None ->
+        let waiting =
+          Option.value ~default:[]
+            (Label.Tbl.find_opt g.pending_children anc)
+        in
+        Label.Tbl.replace g.pending_children anc (l :: waiting))
+    (Dep.ancestors dep)
+
+let reachable step g l =
+  let seen = ref Label.Set.empty in
+  let rec visit x =
+    List.iter
+      (fun y ->
+        if not (Label.Set.mem y !seen) then begin
+          seen := Label.Set.add y !seen;
+          visit y
+        end)
+      (step g x)
+  in
+  visit l;
+  !seen
+
+let ancestors g l = reachable parents g l
+
+let descendants g l = reachable children g l
+
+let happens_before g a b =
+  (not (Label.equal a b)) && Label.Set.mem b (descendants g a)
+
+let concurrent g a b =
+  (not (Label.equal a b))
+  && (not (happens_before g a b))
+  && not (happens_before g b a)
+
+let roots g = List.filter (fun l -> parents g l = []) (labels g)
+
+let leaves g = List.filter (fun l -> children g l = []) (labels g)
+
+let in_degrees g =
+  let deg = Label.Tbl.create g.n in
+  List.iter (fun l -> Label.Tbl.replace deg l (List.length (parents g l))) (labels g);
+  deg
+
+let topological g =
+  let deg = in_degrees g in
+  let ready =
+    List.filter (fun l -> Label.Tbl.find deg l = 0) (labels g)
+    |> List.sort Label.compare
+  in
+  let rec loop ready acc =
+    match ready with
+    | [] -> List.rev acc
+    | l :: rest ->
+      let newly =
+        List.filter
+          (fun c ->
+            let d = Label.Tbl.find deg c - 1 in
+            Label.Tbl.replace deg c d;
+            d = 0)
+          (children g l)
+      in
+      loop (List.merge Label.compare rest (List.sort Label.compare newly)) (l :: acc)
+  in
+  loop ready []
+
+let linearizations ?(limit = 10_000) g =
+  let deg = in_degrees g in
+  let results = ref [] and count = ref 0 in
+  let ready =
+    List.filter (fun l -> Label.Tbl.find deg l = 0) (labels g)
+  in
+  (* Depth-first enumeration of linear extensions: at each step pick each
+     currently-ready node in turn. *)
+  let rec go ready acc =
+    if !count >= limit then ()
+    else if List.length acc = g.n then begin
+      results := List.rev acc :: !results;
+      incr count
+    end
+    else
+      List.iter
+        (fun l ->
+          if !count < limit then begin
+            let newly =
+              List.filter
+                (fun c ->
+                  let d = Label.Tbl.find deg c - 1 in
+                  Label.Tbl.replace deg c d;
+                  d = 0)
+                (children g l)
+            in
+            let ready' = newly @ List.filter (fun x -> not (Label.equal x l)) ready in
+            go ready' (l :: acc);
+            (* undo *)
+            List.iter
+              (fun c -> Label.Tbl.replace deg c (Label.Tbl.find deg c + 1))
+              (children g l)
+          end)
+        ready
+  in
+  go ready [];
+  List.rev !results
+
+let count_linearizations ?(cap = 1_000_000) g =
+  let deg = in_degrees g in
+  let count = ref 0 in
+  let ready = List.filter (fun l -> Label.Tbl.find deg l = 0) (labels g) in
+  let rec go ready depth =
+    if !count >= cap then ()
+    else if depth = g.n then incr count
+    else
+      List.iter
+        (fun l ->
+          if !count < cap then begin
+            let newly =
+              List.filter
+                (fun c ->
+                  let d = Label.Tbl.find deg c - 1 in
+                  Label.Tbl.replace deg c d;
+                  d = 0)
+                (children g l)
+            in
+            let ready' = newly @ List.filter (fun x -> not (Label.equal x l)) ready in
+            go ready' (depth + 1);
+            List.iter
+              (fun c -> Label.Tbl.replace deg c (Label.Tbl.find deg c + 1))
+              (children g l)
+          end)
+        ready
+  in
+  go ready 0;
+  !count
+
+let sync_points g =
+  let ls = labels g in
+  List.filter
+    (fun l ->
+      List.for_all
+        (fun other -> Label.equal l other || not (concurrent g l other))
+        ls)
+    ls
+
+let restrict g keep =
+  let g' = create () in
+  List.iter
+    (fun l ->
+      if Label.Set.mem l keep then begin
+        let dep =
+          match dep_of g l with
+          | Dep.Null -> Dep.Null
+          | Dep.After a -> if Label.Set.mem a keep then Dep.After a else Dep.Null
+          | Dep.After_all ls ->
+            Dep.after_all (List.filter (fun a -> Label.Set.mem a keep) ls)
+          | Dep.After_any ls ->
+            (* Restriction may remove alternatives; keep the surviving ones. *)
+            Dep.after_any (List.filter (fun a -> Label.Set.mem a keep) ls)
+        in
+        add g' l ~dep
+      end)
+    (labels g);
+  g'
+
+let verify_sequence g seq =
+  let included = Label.Set.of_list seq in
+  let delivered = ref Label.Set.empty in
+  List.for_all
+    (fun l ->
+      let ok =
+        match dep_of g l with
+        | Dep.Null -> true
+        | Dep.After a ->
+          (not (Label.Set.mem a included)) || Label.Set.mem a !delivered
+        | Dep.After_all ls ->
+          List.for_all
+            (fun a ->
+              (not (Label.Set.mem a included)) || Label.Set.mem a !delivered)
+            ls
+        | Dep.After_any ls ->
+          let relevant = List.filter (fun a -> Label.Set.mem a included) ls in
+          relevant = [] || List.exists (fun a -> Label.Set.mem a !delivered) relevant
+      in
+      delivered := Label.Set.add l !delivered;
+      ok)
+    seq
+
+let edges g =
+  List.concat_map
+    (fun l -> List.map (fun c -> (l, c)) (children g l))
+    (labels g)
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun l ->
+      Format.fprintf ppf "%a %a@," Label.pp l Dep.pp (dep_of g l))
+    (labels g);
+  Format.fprintf ppf "@]"
+
+let to_dot g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "digraph deps {\n";
+  List.iter
+    (fun l ->
+      Buffer.add_string buf (Printf.sprintf "  \"%s\";\n" (Label.to_string l)))
+    (labels g);
+  List.iter
+    (fun (a, b) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  \"%s\" -> \"%s\";\n" (Label.to_string a)
+           (Label.to_string b)))
+    (edges g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

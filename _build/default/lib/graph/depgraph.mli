@@ -1,0 +1,88 @@
+(** Message dependency graphs (paper §3.1–3.2, Fig. 3).
+
+    Nodes are message labels; a directed edge [m → m'] records the causal
+    relation "m' occurs after m".  The paper's key observation is that
+    this graph is {e stable information}: every group member extracts the
+    identical graph from the causally broadcast [Occurs_After] predicates,
+    so agreement can be anchored on graph structure (synchronization
+    points) rather than on extra protocol messages.
+
+    The structure is imperative — the engines grow it monotonically as
+    messages arrive — while queries are pure.  All query functions
+    @raise Not_found if a label has not been added. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> Label.t -> dep:Dep.t -> unit
+(** Register a message with its ordering predicate.  [After_any] records
+    edges from each alternative (the graph over-approximates; the engine
+    handles OR at delivery time).  @raise Invalid_argument if the label is
+    already present or if the predicate would introduce a cycle. *)
+
+val mem : t -> Label.t -> bool
+
+val size : t -> int
+
+val labels : t -> Label.t list
+(** All labels in insertion order. *)
+
+val dep_of : t -> Label.t -> Dep.t
+
+val parents : t -> Label.t -> Label.t list
+(** Direct ancestors (the labels named by the predicate). *)
+
+val children : t -> Label.t -> Label.t list
+(** Messages whose predicate names the given label. *)
+
+val ancestors : t -> Label.t -> Label.Set.t
+(** Transitive, not including the label itself. *)
+
+val descendants : t -> Label.t -> Label.Set.t
+
+val happens_before : t -> Label.t -> Label.t -> bool
+(** [happens_before g a b] iff there is a directed path [a → … → b]. *)
+
+val concurrent : t -> Label.t -> Label.t -> bool
+(** Neither happens before the other (and they differ). *)
+
+val roots : t -> Label.t list
+(** Labels with no parents. *)
+
+val leaves : t -> Label.t list
+
+val topological : t -> Label.t list
+(** One linear extension, deterministic (ties broken by {!Label.compare}). *)
+
+val linearizations : ?limit:int -> t -> Label.t list list
+(** All event sequences allowed by the partial order — the [EvSeq_i] of
+    §4.1 — up to [limit] (default 10_000).  The count is bounded by
+    [(r+1)!] as in the paper. *)
+
+val count_linearizations : ?cap:int -> t -> int
+(** Number of allowed sequences, counted without materialising them, and
+    capped at [cap] (default 1_000_000) to bound the search. *)
+
+val sync_points : t -> Label.t list
+(** Labels ordered (before or after) w.r.t. every other label — the
+    synchronization points of §3.2: the graph between two consecutive
+    sync points is a set of concurrent messages. *)
+
+val restrict : t -> Label.Set.t -> t
+(** Sub-graph induced by a label set (edges to labels outside the set are
+    dropped) — used to reason about one causal activity [R(K)]. *)
+
+val verify_sequence : t -> Label.t list -> bool
+(** Whether a delivery sequence is a linear extension of the graph
+    restricted to the labels it contains: no message appears before one
+    of its (included) ancestors. *)
+
+val edges : t -> (Label.t * Label.t) list
+(** All [(ancestor, descendant)] pairs. *)
+
+val pp : Format.formatter -> t -> unit
+(** Adjacency rendering, one node per line — Fig. 3 style. *)
+
+val to_dot : t -> string
+(** Graphviz rendering for documentation. *)

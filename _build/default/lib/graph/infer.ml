@@ -1,0 +1,123 @@
+let positions seq =
+  let tbl = Label.Tbl.create (List.length seq) in
+  List.iteri
+    (fun i l ->
+      if Label.Tbl.mem tbl l then
+        invalid_arg
+          (Printf.sprintf "Infer: duplicate label %s in observation"
+             (Label.to_string l));
+      Label.Tbl.replace tbl l i)
+    seq;
+  tbl
+
+let precedence observations =
+  let tables = List.map positions observations in
+  let all_labels =
+    List.fold_left
+      (fun acc seq -> List.fold_left (fun acc l -> Label.Set.add l acc) acc seq)
+      Label.Set.empty observations
+    |> Label.Set.elements
+  in
+  let consistent a b =
+    (* a before b in every observation containing both; co-occur once *)
+    let co = ref false and ok = ref true in
+    List.iter
+      (fun tbl ->
+        match (Label.Tbl.find_opt tbl a, Label.Tbl.find_opt tbl b) with
+        | Some pa, Some pb ->
+          co := true;
+          if pa > pb then ok := false
+        | Some _, None | None, Some _ | None, None -> ())
+      tables;
+    !co && !ok
+  in
+  List.concat_map
+    (fun a ->
+      List.filter_map
+        (fun b ->
+          if (not (Label.equal a b)) && consistent a b then Some (a, b)
+          else None)
+        all_labels)
+    all_labels
+
+let graph_of_pairs labels pairs =
+  (* nodes added in a topological-compatible order: sort by in-edge count
+     won't do — instead add all nodes first with their full parent sets;
+     Depgraph tolerates forward references via pending children. *)
+  let parents = Label.Tbl.create 64 in
+  List.iter (fun l -> Label.Tbl.replace parents l []) labels;
+  List.iter
+    (fun (a, b) ->
+      Label.Tbl.replace parents b (a :: Label.Tbl.find parents b))
+    pairs;
+  let g = Depgraph.create () in
+  List.iter
+    (fun l -> Depgraph.add g l ~dep:(Dep.after_all (Label.Tbl.find parents l)))
+    labels;
+  g
+
+let transitive_reduction g =
+  let labels = Depgraph.labels g in
+  let reduced = Depgraph.create () in
+  List.iter
+    (fun l ->
+      let parents = Depgraph.parents g l in
+      (* a parent is redundant if it is an ancestor of another parent *)
+      let direct =
+        List.filter
+          (fun p ->
+            not
+              (List.exists
+                 (fun q ->
+                   (not (Label.equal p q)) && Depgraph.happens_before g p q)
+                 parents))
+          parents
+      in
+      Depgraph.add reduced l ~dep:(Dep.after_all direct))
+    labels;
+  reduced
+
+let infer observations =
+  let pairs = precedence observations in
+  let labels =
+    List.fold_left
+      (fun acc seq -> List.fold_left (fun acc l -> Label.Set.add l acc) acc seq)
+      Label.Set.empty observations
+    |> Label.Set.elements
+  in
+  transitive_reduction (graph_of_pairs labels pairs)
+
+let spec g =
+  List.map (fun l -> (l, Depgraph.dep_of g l)) (Depgraph.topological g)
+
+let closure_pairs g =
+  let labels = Depgraph.labels g in
+  List.concat_map
+    (fun a ->
+      List.filter_map
+        (fun b ->
+          if Depgraph.happens_before g a b then Some (a, b) else None)
+        labels)
+    labels
+
+let common_set a b =
+  Label.Set.inter
+    (Label.Set.of_list (Depgraph.labels a))
+    (Label.Set.of_list (Depgraph.labels b))
+
+let restrict_pairs common pairs =
+  List.filter
+    (fun (a, b) -> Label.Set.mem a common && Label.Set.mem b common)
+    pairs
+  |> List.sort compare
+
+let exact ~truth inferred =
+  let common = common_set truth inferred in
+  restrict_pairs common (closure_pairs truth)
+  = restrict_pairs common (closure_pairs inferred)
+
+let over_approximation ~truth inferred =
+  let common = common_set truth inferred in
+  let true_pairs = restrict_pairs common (closure_pairs truth) in
+  let inf_pairs = restrict_pairs common (closure_pairs inferred) in
+  List.for_all (fun p -> List.mem p inf_pairs) true_pairs

@@ -1,0 +1,44 @@
+(** Extracting ordering specifications from observed executions (§3.2).
+
+    The paper notes that "a stable form of the graph representing message
+    dependencies in an application is extractable by observing its
+    execution behaviour in terms of messages exchanged and generating
+    therefrom a specification of the intended communication requirements".
+    This module implements that observation step: given delivery sequences
+    collected from members (possibly across several executions), it
+    computes the precedence relation common to all of them and renders it
+    as a dependency graph / [Occurs_After] specification.
+
+    Because each observation is a linearization of the true partial order,
+    the inferred relation always {e contains} the true one; every
+    additional observation can only remove incidental orderings.  With all
+    linearizations observed, inference is exact — the formal content of
+    "causal relations are stable information". *)
+
+val precedence : Label.t list list -> (Label.t * Label.t) list
+(** [(a, b)] pairs such that [a] precedes [b] in {e every} observed
+    sequence in which both appear, and they co-occur at least once.  The
+    relation is a strict partial order (the intersection of the observed
+    linear orders).  @raise Invalid_argument if a sequence contains a
+    duplicate label. *)
+
+val infer : Label.t list list -> Depgraph.t
+(** The {!precedence} relation as a transitively reduced dependency graph
+    over every observed label: each node's predicate names only its
+    immediate ancestors, as an [OSend] specification would. *)
+
+val spec : Depgraph.t -> (Label.t * Dep.t) list
+(** Render a graph as the per-message [Occurs_After] specification, in
+    topological order — the "non-procedural form" of §3.3. *)
+
+val transitive_reduction : Depgraph.t -> Depgraph.t
+(** Remove every edge implied by a longer path.  For a DAG the reduction
+    is unique. *)
+
+val exact : truth:Depgraph.t -> Depgraph.t -> bool
+(** Whether an inferred graph has exactly the truth's happens-before
+    relation (compares transitive closures over the common label set). *)
+
+val over_approximation : truth:Depgraph.t -> Depgraph.t -> bool
+(** Whether the inferred relation contains every true ordering — the
+    soundness guarantee observation always provides. *)

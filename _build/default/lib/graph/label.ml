@@ -1,0 +1,40 @@
+type t = { origin : int; seq : int; display : string option }
+
+let make ?name ~origin ~seq () =
+  if origin < 0 then invalid_arg "Label.make: negative origin";
+  if seq < 0 then invalid_arg "Label.make: negative seq";
+  { origin; seq; display = name }
+
+let origin t = t.origin
+
+let seq t = t.seq
+
+let name t =
+  match t.display with
+  | Some s -> s
+  | None -> Printf.sprintf "m%d.%d" t.origin t.seq
+
+let equal a b = a.origin = b.origin && a.seq = b.seq
+
+let compare a b =
+  match Int.compare a.origin b.origin with
+  | 0 -> Int.compare a.seq b.seq
+  | c -> c
+
+let hash t = (t.origin * 1000003) lxor t.seq
+
+let pp ppf t = Format.pp_print_string ppf (name t)
+
+let to_string = name
+
+module Key = struct
+  type nonrec t = t
+
+  let equal = equal
+  let compare = compare
+  let hash = hash
+end
+
+module Set = Set.Make (Key)
+module Map = Map.Make (Key)
+module Tbl = Hashtbl.Make (Key)

@@ -1,0 +1,1 @@
+lib/harness/drivers.ml: Array Causalb_core Causalb_data Causalb_graph Causalb_net Causalb_sim Causalb_util Hashtbl List

@@ -1,0 +1,1 @@
+lib/harness/drivers.mli: Causalb_sim Causalb_util

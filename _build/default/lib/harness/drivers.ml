@@ -1,0 +1,240 @@
+(* Shared machinery for the experiment harness: three protocol drivers
+   (causal stable-point, ASend deterministic merge, ASend sequencer) that
+   run the same operation mix and report comparable metrics. *)
+
+module Engine = Causalb_sim.Engine
+module Latency = Causalb_sim.Latency
+module Net = Causalb_net.Net
+module Group = Causalb_core.Group
+module Osend = Causalb_core.Osend
+module Asend = Causalb_core.Asend
+module Message = Causalb_core.Message
+module Label = Causalb_graph.Label
+module Dep = Causalb_graph.Dep
+module Op = Causalb_data.Op
+module Sm = Causalb_data.State_machine
+module Dt = Causalb_data.Datatypes
+module Service = Causalb_data.Service
+module Frontend = Causalb_data.Frontend
+module Replica = Causalb_data.Replica
+module Stats = Causalb_util.Stats
+module Rng = Causalb_util.Rng
+
+let default_latency = Latency.lognormal ~mu:0.5 ~sigma:1.0 ()
+
+(* How commutative and non-commutative operations interleave: [Random p]
+   draws each op commutative with probability [p]; [Fixed_window k] emits
+   exactly [k] commutative ops then one sync — the §6.1 cycle with f̄=k. *)
+type mix = Random of float | Fixed_window of int
+
+type workload = {
+  ops : int;       (* total operations *)
+  spacing : float; (* ms between submissions *)
+  mix : mix;
+}
+
+(* The §6.1 operation mix on the integer register: commutative incs,
+   non-commutative reads as sync points.  A closing read is appended so
+   the final window always closes. *)
+let op_sequence rng w =
+  let body =
+    match w.mix with
+    | Random p ->
+      List.init w.ops (fun _ ->
+          if Rng.bernoulli rng p then Dt.Int_register.Inc 1
+          else Dt.Int_register.Read)
+    | Fixed_window k ->
+      List.init w.ops (fun i ->
+          if k > 0 && (i + 1) mod (k + 1) <> 0 then Dt.Int_register.Inc 1
+          else Dt.Int_register.Read)
+  in
+  body @ [ Dt.Int_register.Read ]
+
+type result = {
+  delivery : Stats.t;    (* submit -> causal apply / total release, per member *)
+  stability : Stats.t;   (* submit -> enclosing stable point (causal only) *)
+  messages : int;        (* unicast copies on the wire *)
+  cycles : int;          (* stable points / batches at member 0 *)
+  buffered : int;        (* forced waits across members *)
+  edges : int;           (* ordering-constraint edges in the message graph *)
+  checks_ok : bool;
+  sim_time : float;      (* virtual makespan *)
+}
+
+(* --- driver 1: the paper's stable-point protocol --- *)
+
+let run_causal ?(seed = 42) ?(latency = default_latency) ~replicas w =
+  let engine = Engine.create ~seed () in
+  let svc =
+    Service.create engine ~replicas ~machine:Dt.Int_register.machine ~latency
+      ~fifo:false ()
+  in
+  let rng = Engine.fork_rng engine in
+  List.iteri
+    (fun i op ->
+      Engine.schedule_at engine ~time:(float_of_int i *. w.spacing) (fun () ->
+          ignore (Service.submit svc ~src:(i mod replicas) op)))
+    (op_sequence rng w);
+  Service.run svc;
+  let buffered =
+    List.init replicas (fun n ->
+        Osend.buffered_ever (Group.member (Service.group svc) n))
+    |> List.fold_left ( + ) 0
+  in
+  {
+    delivery = Service.delivery_latency svc;
+    stability = Service.stability_latency svc;
+    messages = Service.messages_sent svc;
+    cycles = Replica.cycles_closed (Service.replica svc 0);
+    buffered;
+    edges =
+      List.length
+        (Causalb_graph.Depgraph.edges
+           (Osend.graph (Group.member (Service.group svc) 0)));
+    checks_ok = List.for_all snd (Service.check svc);
+    sim_time = Engine.now engine;
+  }
+
+(* --- driver 2: ASend deterministic merge on the same causal traffic ---
+   Commutative messages are withheld until the closing sync, then released
+   in one identical order at every member: per-message latency is the
+   price of total ordering without extra messages. *)
+
+let run_merge ?(seed = 42) ?(latency = default_latency) ~replicas w =
+  let engine = Engine.create ~seed () in
+  let net = Net.create engine ~nodes:replicas ~latency ~fifo:false () in
+  let send_times = Label.Tbl.create 256 in
+  let release = Stats.create () in
+  let is_sync m =
+    match Message.payload m with
+    | Dt.Int_register.Read | Dt.Int_register.Set _ -> true
+    | Dt.Int_register.Inc _ | Dt.Int_register.Dec _ -> false
+  in
+  let merges =
+    Array.init replicas (fun _ ->
+        Asend.Merge.create ~is_sync ())
+  in
+  (* Release latency is measured inside the group callback: anything the
+     merge layer newly released gets stamped with the current virtual
+     time. *)
+  let on_deliver ~node ~time:_ msg =
+    let merge = merges.(node) in
+    let before = List.length (Asend.Merge.total_order merge) in
+    Asend.Merge.on_causal_deliver merge msg;
+    let order = Asend.Merge.total_order merge in
+    let now = Engine.now engine in
+    (* everything newly released gets its latency recorded *)
+    List.iteri
+      (fun i lbl ->
+        if i >= before then
+          match Label.Tbl.find_opt send_times lbl with
+          | Some t0 -> Stats.add release (now -. t0)
+          | None -> ())
+      order
+  in
+  let group = Group.create net ~on_deliver () in
+  let frontend =
+    Frontend.create group ~kind:Dt.Int_register.machine.Sm.kind ()
+  in
+  let rng = Engine.fork_rng engine in
+  List.iteri
+    (fun i op ->
+      Engine.schedule_at engine ~time:(float_of_int i *. w.spacing) (fun () ->
+          let lbl = Frontend.submit frontend ~src:(i mod replicas) op in
+          Label.Tbl.replace send_times lbl (Engine.now engine)))
+    (op_sequence rng w);
+  Engine.run engine;
+  let orders = Array.to_list (Array.map Asend.Merge.total_order merges) in
+  let identical = Causalb_core.Checker.identical_orders orders in
+  {
+    delivery = release;
+    stability = release;
+    messages = Net.messages_sent net;
+    cycles = Asend.Merge.batches merges.(0);
+    buffered = 0;
+    edges =
+      List.length
+        (Causalb_graph.Depgraph.edges (Osend.graph (Group.member group 0)));
+    checks_ok = identical;
+    sim_time = Engine.now engine;
+  }
+
+(* --- driver 3: fixed-sequencer total order --- *)
+
+let run_sequencer ?(seed = 42) ?(latency = default_latency) ~replicas w =
+  let engine = Engine.create ~seed () in
+  let net = Net.create engine ~nodes:replicas ~latency ~fifo:false () in
+  let issue_times = Hashtbl.create 256 in
+  let lat = Stats.create () in
+  let on_deliver ~node:_ ~time msg =
+    match Hashtbl.find_opt issue_times (Message.payload msg) with
+    | Some t0 -> Stats.add lat (time -. t0)
+    | None -> ()
+  in
+  let group = Group.create net ~on_deliver () in
+  let seq = Asend.Sequencer.create group ~submit_latency:latency () in
+  let total = w.ops + 1 in
+  for i = 0 to total - 1 do
+    Engine.schedule_at engine ~time:(float_of_int i *. w.spacing) (fun () ->
+        Hashtbl.replace issue_times i (Engine.now engine);
+        Asend.Sequencer.asend seq ~src:(i mod replicas) i)
+  done;
+  Engine.run engine;
+  let orders = Group.all_delivered_orders group in
+  {
+    delivery = lat;
+    stability = lat;
+    messages = Net.messages_sent net;
+    cycles = 0;
+    buffered =
+      List.init replicas (fun n -> Osend.buffered_ever (Group.member group n))
+      |> List.fold_left ( + ) 0;
+    edges =
+      List.length
+        (Causalb_graph.Depgraph.edges (Osend.graph (Group.member group 0)));
+    checks_ok = Causalb_core.Checker.identical_orders orders;
+    sim_time = Engine.now engine;
+  }
+
+(* --- driver 4: decentralised Lamport-timestamp total order --- *)
+
+let run_timestamp ?(seed = 42) ?(latency = default_latency) ~replicas w =
+  let engine = Engine.create ~seed () in
+  (* the timestamp protocol needs per-link FIFO *)
+  let net = Net.create engine ~nodes:replicas ~latency ~fifo:true () in
+  let issue_times = Hashtbl.create 256 in
+  let lat = Stats.create () in
+  let ts =
+    Asend.Timestamp.create net
+      ~on_deliver:(fun ~node:_ ~time ~tag _ ->
+        match Hashtbl.find_opt issue_times tag with
+        | Some t0 -> Stats.add lat (time -. t0)
+        | None -> ())
+      ()
+  in
+  let total = w.ops + 1 in
+  for i = 0 to total - 1 do
+    Engine.schedule_at engine ~time:(float_of_int i *. w.spacing) (fun () ->
+        let tag = string_of_int i in
+        Hashtbl.replace issue_times tag (Engine.now engine);
+        Asend.Timestamp.bcast ts ~src:(i mod replicas) ~tag i)
+  done;
+  Engine.run engine;
+  let orders = List.init replicas (Asend.Timestamp.delivered_tags ts) in
+  let identical = List.for_all (fun o -> o = List.hd orders) orders in
+  {
+    delivery = lat;
+    stability = lat;
+    messages = Net.messages_sent net;
+    cycles = 0;
+    buffered = 0;
+    edges = 0;
+    checks_ok = identical;
+    sim_time = Engine.now engine;
+  }
+
+let p50 s = Stats.percentile s 50.0
+
+let p95 s = Stats.percentile s 95.0
+
+let fmt = Causalb_util.Table.fmt_float ~digits:2

@@ -1,0 +1,68 @@
+(** Experiment drivers: the four protocol configurations every
+    quantitative experiment compares, run over identical §6.1-style
+    workloads with comparable metrics.
+
+    Each driver builds a fresh engine/network/group, submits the same
+    operation sequence (derived deterministically from the seed) and
+    returns a {!result}.  The drivers are deterministic: equal arguments
+    produce equal results. *)
+
+(** How commutative and non-commutative operations interleave: [Random p]
+    draws each op commutative with probability [p]; [Fixed_window k]
+    emits exactly [k] commutative ops then one sync — the §6.1 cycle with
+    f̄ = k. *)
+type mix = Random of float | Fixed_window of int
+
+type workload = {
+  ops : int;       (** total operations (a closing sync is appended) *)
+  spacing : float; (** ms between submissions *)
+  mix : mix;
+}
+
+type result = {
+  delivery : Causalb_util.Stats.t;
+      (** submit → causal apply (or total-order release), per member *)
+  stability : Causalb_util.Stats.t;
+      (** submit → enclosing stable point (causal driver only; equals
+          [delivery] for the total-order drivers) *)
+  messages : int;   (** unicast copies on the wire *)
+  cycles : int;     (** stable points / batches at member 0 *)
+  buffered : int;   (** forced delivery waits across members *)
+  edges : int;      (** ordering-constraint edges in member 0's graph *)
+  checks_ok : bool; (** all driver-specific correctness checks passed *)
+  sim_time : float; (** virtual makespan *)
+}
+
+val default_latency : Causalb_sim.Latency.t
+
+val run_causal :
+  ?seed:int -> ?latency:Causalb_sim.Latency.t -> replicas:int -> workload ->
+  result
+(** The paper's stable-point protocol: {!Causalb_data.Service} over the
+    §6.1 front-end. *)
+
+val run_merge :
+  ?seed:int -> ?latency:Causalb_sim.Latency.t -> replicas:int -> workload ->
+  result
+(** ASend deterministic merge on the same causal traffic: commutative
+    messages are withheld until their closing sync, then released in one
+    identical order at every member. *)
+
+val run_sequencer :
+  ?seed:int -> ?latency:Causalb_sim.Latency.t -> replicas:int -> workload ->
+  result
+(** Fixed-sequencer total order (extra submission hop + causal chain). *)
+
+val run_timestamp :
+  ?seed:int -> ?latency:Causalb_sim.Latency.t -> replicas:int -> workload ->
+  result
+(** Decentralised Lamport-timestamp total order (FIFO links, n² acks). *)
+
+(** {1 Reporting helpers} *)
+
+val p50 : Causalb_util.Stats.t -> float
+
+val p95 : Causalb_util.Stats.t -> float
+
+val fmt : float -> string
+(** Two-decimal rendering, ["-"] for NaN. *)

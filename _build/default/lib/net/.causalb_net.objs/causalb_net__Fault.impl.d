@@ -1,0 +1,1 @@
+lib/net/fault.ml: Format Printf

@@ -1,0 +1,1 @@
+lib/net/net.ml: Array Causalb_sim Causalb_util Fault Float List Printf

@@ -1,0 +1,163 @@
+module Engine = Causalb_sim.Engine
+module Latency = Causalb_sim.Latency
+module Trace = Causalb_sim.Trace
+module Rng = Causalb_util.Rng
+
+type 'a t = {
+  engine : Engine.t;
+  n : int;
+  latency : Latency.t;
+  fifo : bool;
+  rng : Rng.t;
+  trace : Trace.t option;
+  handlers : (src:int -> 'a -> unit) option array;
+  last_arrival : float array array; (* last_arrival.(src).(dst) *)
+  mutable fault : Fault.t;
+  mutable cell_of : int array option; (* partition cell per node *)
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable bytes : int;
+}
+
+let create engine ~nodes ?(latency = Latency.lan) ?(fifo = true)
+    ?(fault = Fault.none) ?trace () =
+  if nodes <= 0 then invalid_arg "Net.create: nodes must be positive";
+  {
+    engine;
+    n = nodes;
+    latency;
+    fifo;
+    rng = Engine.fork_rng engine;
+    trace;
+    handlers = Array.make nodes None;
+    last_arrival = Array.make_matrix nodes nodes 0.0;
+    fault;
+    cell_of = None;
+    sent = 0;
+    delivered = 0;
+    dropped = 0;
+    bytes = 0;
+  }
+
+let engine t = t.engine
+
+let nodes t = t.n
+
+let check_node t who i =
+  if i < 0 || i >= t.n then
+    invalid_arg (Printf.sprintf "Net.%s: node %d out of range" who i)
+
+let set_handler t node f =
+  check_node t "set_handler" node;
+  t.handlers.(node) <- Some f
+
+let trace t ~node ~kind ~tag ~info =
+  match t.trace with
+  | None -> ()
+  | Some tr ->
+    Trace.record tr ~time:(Engine.now t.engine) ~node ~kind ~tag ~info ()
+
+let reachable t src dst =
+  match t.cell_of with
+  | None -> true
+  | Some cells -> cells.(src) = cells.(dst)
+
+let deliver t ~src ~dst payload =
+  match t.handlers.(dst) with
+  | Some f ->
+    t.delivered <- t.delivered + 1;
+    trace t ~node:dst ~kind:Trace.Receive ~tag:"" ~info:(Printf.sprintf "from=%d" src);
+    f ~src payload
+  | None -> t.dropped <- t.dropped + 1
+
+let schedule_copy t ~src ~dst payload =
+  let base = Latency.sample t.rng t.latency in
+  let jitter =
+    if t.fault.Fault.jitter > 0.0 then Rng.float t.rng t.fault.Fault.jitter
+    else 0.0
+  in
+  let now = Engine.now t.engine in
+  let arrival = now +. base +. jitter in
+  let arrival =
+    if t.fifo then begin
+      (* Per-link FIFO: never schedule an arrival before the previous one
+         on the same link. *)
+      let floor = t.last_arrival.(src).(dst) in
+      let a = Float.max arrival floor in
+      t.last_arrival.(src).(dst) <- a;
+      a
+    end
+    else arrival
+  in
+  Engine.schedule_at t.engine ~time:arrival (fun () ->
+      deliver t ~src ~dst payload)
+
+let send_copy t ~src ~dst ~size payload =
+  t.sent <- t.sent + 1;
+  t.bytes <- t.bytes + size;
+  if not (reachable t src dst) then begin
+    t.dropped <- t.dropped + 1;
+    trace t ~node:src ~kind:Trace.Drop ~tag:"" ~info:(Printf.sprintf "partition dst=%d" dst)
+  end
+  else if Rng.bernoulli t.rng t.fault.Fault.drop_prob then begin
+    t.dropped <- t.dropped + 1;
+    trace t ~node:src ~kind:Trace.Drop ~tag:"" ~info:(Printf.sprintf "loss dst=%d" dst)
+  end
+  else begin
+    schedule_copy t ~src ~dst payload;
+    if Rng.bernoulli t.rng t.fault.Fault.dup_prob then
+      schedule_copy t ~src ~dst payload
+  end
+
+let send t ~src ~dst ?(size = 1) payload =
+  check_node t "send" src;
+  check_node t "send" dst;
+  trace t ~node:src ~kind:Trace.Send ~tag:"" ~info:(Printf.sprintf "dst=%d" dst);
+  send_copy t ~src ~dst ~size payload
+
+let broadcast t ~src ?(self = true) ?(size = 1) payload =
+  check_node t "broadcast" src;
+  trace t ~node:src ~kind:Trace.Send ~tag:"" ~info:"bcast";
+  for dst = 0 to t.n - 1 do
+    if dst <> src then send_copy t ~src ~dst ~size payload
+  done;
+  if self then begin
+    t.sent <- t.sent + 1;
+    (* Local copy: processed at the same virtual instant, after the
+       current callback returns. *)
+    Engine.schedule t.engine ~delay:0.0 (fun () -> deliver t ~src ~dst:src payload)
+  end
+
+let set_fault t fault = t.fault <- fault
+
+let partition t cells =
+  let cell_of = Array.make t.n (-1) in
+  List.iteri
+    (fun idx cell ->
+      List.iter
+        (fun node ->
+          check_node t "partition" node;
+          cell_of.(node) <- idx)
+        cell)
+    cells;
+  (* Unlisted nodes become singletons with unique negative-free ids. *)
+  let next = ref (List.length cells) in
+  Array.iteri
+    (fun node c ->
+      if c = -1 then begin
+        cell_of.(node) <- !next;
+        incr next
+      end)
+    cell_of;
+  t.cell_of <- Some cell_of
+
+let heal t = t.cell_of <- None
+
+let messages_sent t = t.sent
+
+let messages_delivered t = t.delivered
+
+let messages_dropped t = t.dropped
+
+let bytes_sent t = t.bytes

@@ -1,0 +1,62 @@
+(** Simulated message network over a discrete-event engine.
+
+    Nodes are numbered [0 .. nodes-1].  Each unicast copy draws an
+    independent delay from the latency model; a broadcast is realised as
+    [n] unicasts (plus an immediate self-delivery when [self] is set), so
+    different members receive the same broadcast at different times and
+    possibly in different relative orders — the reordering the causal
+    layer must repair.
+
+    [fifo] mode forces per-link FIFO (arrival times on one (src,dst) link
+    are non-decreasing), matching the channel guarantees of ISIS/Psync;
+    non-FIFO mode exposes raw datagram behaviour.  Fault injection and
+    partitions apply before scheduling a copy. *)
+
+type 'a t
+
+val create :
+  Causalb_sim.Engine.t ->
+  nodes:int ->
+  ?latency:Causalb_sim.Latency.t ->
+  ?fifo:bool ->
+  ?fault:Fault.t ->
+  ?trace:Causalb_sim.Trace.t ->
+  unit ->
+  'a t
+(** Defaults: [latency = Latency.lan], [fifo = true], no faults, no trace.
+    @raise Invalid_argument if [nodes <= 0]. *)
+
+val engine : 'a t -> Causalb_sim.Engine.t
+
+val nodes : 'a t -> int
+
+val set_handler : 'a t -> int -> (src:int -> 'a -> unit) -> unit
+(** Install the receive callback for a node (replacing any previous one).
+    Messages arriving at a node with no handler are counted as dropped. *)
+
+val send : 'a t -> src:int -> dst:int -> ?size:int -> 'a -> unit
+(** Unicast.  [size] (abstract bytes, default 1) feeds the traffic
+    accounting only. *)
+
+val broadcast : 'a t -> src:int -> ?self:bool -> ?size:int -> 'a -> unit
+(** One copy to every node; [self] (default [true]) also delivers to the
+    sender — immediately, matching local processing of one's own
+    message. *)
+
+val set_fault : 'a t -> Fault.t -> unit
+
+val partition : 'a t -> int list list -> unit
+(** Installs a partition: messages between nodes in different cells are
+    dropped.  Nodes absent from every cell form implicit singletons. *)
+
+val heal : 'a t -> unit
+(** Removes any partition. *)
+
+val messages_sent : 'a t -> int
+(** Unicast copies handed to the transport (a broadcast counts [n]). *)
+
+val messages_delivered : 'a t -> int
+
+val messages_dropped : 'a t -> int
+
+val bytes_sent : 'a t -> int

@@ -1,0 +1,1 @@
+lib/protocols/card_game.ml: Array Causalb_core Causalb_data Causalb_graph Causalb_net Causalb_sim Causalb_util Hashtbl List Option Printf

@@ -1,0 +1,1 @@
+lib/protocols/card_game.mli: Causalb_sim Causalb_util

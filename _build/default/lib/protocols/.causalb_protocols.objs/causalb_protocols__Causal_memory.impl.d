@@ -1,0 +1,1 @@
+lib/protocols/causal_memory.ml: Array Causalb_clock Causalb_core Causalb_net Causalb_sim Hashtbl List Map Option Printf String

@@ -1,0 +1,1 @@
+lib/protocols/causal_memory.mli: Causalb_sim

@@ -1,0 +1,1 @@
+lib/protocols/conference.ml: Array Causalb_data Causalb_sim Causalb_util Printf

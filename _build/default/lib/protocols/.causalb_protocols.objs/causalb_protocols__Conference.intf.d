@@ -1,0 +1,1 @@
+lib/protocols/conference.mli: Causalb_data Causalb_sim

@@ -1,0 +1,1 @@
+lib/protocols/lock_service.ml: Array Causalb_core Causalb_graph Causalb_net Causalb_sim Causalb_util Float Format Fun Hashtbl Int List Option Printf

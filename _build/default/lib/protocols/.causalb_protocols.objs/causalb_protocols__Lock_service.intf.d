@@ -1,0 +1,1 @@
+lib/protocols/lock_service.mli: Causalb_sim Causalb_util Format

@@ -1,0 +1,1 @@
+lib/protocols/name_service.ml: Array Causalb_core Causalb_graph Causalb_net Causalb_sim Causalb_util Hashtbl List Map Option String

@@ -1,0 +1,1 @@
+lib/protocols/name_service.mli: Causalb_graph Causalb_sim Causalb_util

@@ -1,0 +1,1 @@
+lib/protocols/page_service.ml: Array Causalb_core Causalb_graph Causalb_net Causalb_sim Causalb_util Fun Hashtbl Int List Option Printf

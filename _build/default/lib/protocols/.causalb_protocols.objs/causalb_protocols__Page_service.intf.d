@@ -1,0 +1,1 @@
+lib/protocols/page_service.mli: Causalb_sim

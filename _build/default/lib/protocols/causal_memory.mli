@@ -1,0 +1,49 @@
+(** Causal distributed shared memory — the Ahamad–Hutto–John model
+    (paper reference [5]), which §5.2 contrasts with this paper's
+    approach: "somewhat different … in the way the shared data is
+    realized and the application semantics is exploited".
+
+    Writes are broadcast with vector-clock (inferred) causality and
+    applied at each node in causal order; reads are purely local and
+    return immediately.  Causal consistency is all you get: two nodes may
+    hold different values of a variable forever after concurrent writes
+    (last-causal-writer-wins locally, with no agreement point) — there
+    are no stable points, no agreed values, and no way to ask "the"
+    current value.  The tests and benches use it as the contrast class
+    for the paper's stable-point model. *)
+
+type t
+
+val create :
+  Causalb_sim.Engine.t ->
+  nodes:int ->
+  ?latency:Causalb_sim.Latency.t ->
+  unit ->
+  t
+
+val write : t -> node:int -> var:string -> int -> unit
+
+val read : t -> node:int -> var:string -> int option
+(** Local, immediate; [None] if the node has not seen any write to the
+    variable. *)
+
+val applied : t -> int -> (string * int) list
+(** Writes applied at a node, in application order. *)
+
+val check_causal_application : t -> bool
+(** Every node applied every write only after all its (vector-clock)
+    causal predecessors — the causal-memory safety condition, recomputed
+    from the recorded stamps rather than trusted from the engine. *)
+
+val check_per_writer_order : t -> bool
+(** Writes by one node appear in issue order at every node. *)
+
+val nodes_agree_on : t -> var:string -> bool
+(** Whether all nodes currently hold the same value of [var] — expected
+    to be [false] sometimes after concurrent writes (the divergence the
+    paper's stable points eliminate). *)
+
+val divergent_vars : t -> string list
+(** Variables on which at least two nodes currently disagree. *)
+
+val messages_sent : t -> int

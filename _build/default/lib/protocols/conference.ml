@@ -1,0 +1,83 @@
+module Engine = Causalb_sim.Engine
+module Latency = Causalb_sim.Latency
+module Rng = Causalb_util.Rng
+module Service = Causalb_data.Service
+module Replica = Causalb_data.Replica
+module Document = Causalb_data.Datatypes.Document
+
+type t = {
+  engine : Engine.t;
+  service : (Document.op, Document.state) Service.t;
+  participants : int;
+  sections : int;
+  rng : Rng.t;
+  mutable annotations : int;
+  mutable commits : int;
+}
+
+let create engine ~participants ~sections ?latency () =
+  if participants <= 0 then invalid_arg "Conference.create: participants <= 0";
+  let machine = Document.machine ~sections in
+  let service =
+    Service.create engine ~replicas:participants ~machine ?latency ()
+  in
+  {
+    engine;
+    service;
+    participants;
+    sections;
+    rng = Engine.fork_rng engine;
+    annotations = 0;
+    commits = 0;
+  }
+
+let service t = t.service
+
+let check_participant t who p =
+  if p < 0 || p >= t.participants then
+    invalid_arg (Printf.sprintf "Conference.%s: participant %d out of range" who p)
+
+let annotate t ~participant ~section text =
+  check_participant t "annotate" participant;
+  t.annotations <- t.annotations + 1;
+  ignore
+    (Service.submit t.service ~src:participant
+       (Document.Annotate (section, text)))
+
+let commit t ~moderator ~section ~body =
+  check_participant t "commit" moderator;
+  t.commits <- t.commits + 1;
+  ignore
+    (Service.submit t.service ~src:moderator (Document.Commit (section, body)))
+
+let request_view t ~participant k =
+  check_participant t "request_view" participant;
+  Replica.read_deferred (Service.replica t.service participant) k
+
+let run_session t ~annotations ~commit_every ?(spacing = 1.0) () =
+  if commit_every <= 0 then
+    invalid_arg "Conference.run_session: commit_every <= 0";
+  let busiest = Array.make t.sections 0 in
+  for i = 0 to annotations - 1 do
+    let participant = i mod t.participants in
+    let section = Rng.int t.rng t.sections in
+    let when_ = float_of_int i *. spacing in
+    Engine.schedule_at t.engine ~time:when_ (fun () ->
+        busiest.(section) <- busiest.(section) + 1;
+        annotate t ~participant ~section
+          (Printf.sprintf "note-%d by p%d" i participant);
+        if (i + 1) mod commit_every = 0 then begin
+          let sec = ref 0 in
+          Array.iteri (fun j c -> if c > busiest.(!sec) then sec := j) busiest;
+          commit t ~moderator:0 ~section:!sec
+            ~body:
+              (Printf.sprintf "body v%d of s%d" ((i + 1) / commit_every) !sec)
+        end)
+  done;
+  Service.run t.service
+
+let annotations_sent t = t.annotations
+
+let commits_sent t = t.commits
+
+let check t = Service.check t.service

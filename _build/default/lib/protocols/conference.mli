@@ -1,0 +1,60 @@
+(** Distributed conferencing on a shared design document
+    (paper §1, §5.2; ref [11]).
+
+    Participants at different workstations collaboratively annotate a
+    document; annotations on any section are commutative and flow through
+    the §6.1 front-end manager, so replicas may apply them in different
+    orders between stable points.  A moderator periodically {e commits} a
+    section (non-commutative — it folds the annotation discussion into
+    the body), closing the cycle; every member's window then agrees and
+    the committed document is a stable point.
+
+    Reads are the paper's deferred reads: a participant asking to see the
+    document gets the state at the next stable point, identical at every
+    workstation. *)
+
+type t
+
+val create :
+  Causalb_sim.Engine.t ->
+  participants:int ->
+  sections:int ->
+  ?latency:Causalb_sim.Latency.t ->
+  unit ->
+  t
+
+val service :
+  t ->
+  ( Causalb_data.Datatypes.Document.op,
+    Causalb_data.Datatypes.Document.state )
+  Causalb_data.Service.t
+
+val annotate : t -> participant:int -> section:int -> string -> unit
+
+val commit : t -> moderator:int -> section:int -> body:string -> unit
+
+val request_view :
+  t -> participant:int -> (Causalb_data.Datatypes.Document.state -> unit) ->
+  unit
+(** Deferred read at the participant's replica: the continuation fires at
+    the next stable point with the agreed document. *)
+
+val run_session :
+  t ->
+  annotations:int ->
+  commit_every:int ->
+  ?spacing:float ->
+  unit ->
+  unit
+(** Scripted session: [annotations] annotation submissions spread
+    [spacing] ms apart (default 1.0) from round-robin participants on
+    random sections; after every [commit_every] annotations the moderator
+    (participant 0) commits the busiest section.  Runs the engine to
+    completion. *)
+
+val annotations_sent : t -> int
+
+val commits_sent : t -> int
+
+val check : t -> (string * bool) list
+(** The full {!Causalb_data.Service.check} battery. *)

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Causalb_util Float Int Printf

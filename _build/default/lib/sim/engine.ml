@@ -1,0 +1,89 @@
+module Heap = Causalb_util.Heap
+module Rng = Causalb_util.Rng
+
+type event = { time : float; seq : int; callback : unit -> unit }
+
+type t = {
+  queue : event Heap.t;
+  root_rng : Rng.t;
+  mutable clock : float;
+  mutable next_seq : int;
+  mutable processed : int;
+}
+
+let compare_events a b =
+  match Float.compare a.time b.time with
+  | 0 -> Int.compare a.seq b.seq
+  | c -> c
+
+let create ?(seed = 42) () =
+  {
+    queue = Heap.create ~cmp:compare_events ();
+    root_rng = Rng.create seed;
+    clock = 0.0;
+    next_seq = 0;
+    processed = 0;
+  }
+
+let now t = t.clock
+
+let rng t = t.root_rng
+
+let fork_rng t = Rng.split t.root_rng
+
+let schedule_at t ~time callback =
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: time %.3f is in the past (now %.3f)"
+         time t.clock);
+  Heap.push t.queue { time; seq = t.next_seq; callback };
+  t.next_seq <- t.next_seq + 1
+
+let schedule t ~delay callback =
+  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~time:(t.clock +. delay) callback
+
+let every t ~period ?until callback =
+  if period <= 0.0 then invalid_arg "Engine.every: period must be positive";
+  let rec tick () =
+    let fire =
+      match until with None -> true | Some stop -> t.clock <= stop
+    in
+    if fire then begin
+      callback ();
+      let next = t.clock +. period in
+      let rearm =
+        match until with None -> true | Some stop -> next <= stop
+      in
+      if rearm then schedule t ~delay:period tick
+    end
+  in
+  schedule t ~delay:period tick
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some ev ->
+    t.clock <- ev.time;
+    t.processed <- t.processed + 1;
+    ev.callback ();
+    true
+
+let run ?until ?max_events t =
+  let budget_ok () =
+    match max_events with None -> true | Some m -> t.processed < m
+  in
+  let time_ok () =
+    match (until, Heap.peek t.queue) with
+    | None, _ -> true
+    | Some _, None -> true
+    | Some stop, Some ev -> ev.time <= stop
+  in
+  let rec loop () =
+    if budget_ok () && time_ok () && step t then loop ()
+  in
+  loop ()
+
+let pending t = Heap.length t.queue
+
+let events_processed t = t.processed

@@ -1,0 +1,49 @@
+(** Deterministic discrete-event simulation engine.
+
+    The engine owns a virtual clock and a priority queue of pending
+    events.  [run] repeatedly pops the earliest event and executes its
+    callback, which may schedule further events.  Events with equal
+    timestamps fire in scheduling order (a monotone tie-break), so a run
+    is a pure function of the seed — the substrate property every
+    experiment relies on for replay.
+
+    Callbacks run on the caller's stack; re-entrancy is safe because the
+    queue is only mutated through [schedule]. *)
+
+type t
+
+val create : ?seed:int -> unit -> t
+(** Fresh engine at virtual time 0.  [seed] (default 42) initialises the
+    root RNG from which components should [split] their own streams. *)
+
+val now : t -> float
+(** Current virtual time in milliseconds. *)
+
+val rng : t -> Causalb_util.Rng.t
+(** The engine's root generator. *)
+
+val fork_rng : t -> Causalb_util.Rng.t
+(** An independent generator split off the root — one per component. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+(** Run the callback [delay] ms from now.  @raise Invalid_argument on a
+    negative delay. *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> unit
+(** Run the callback at an absolute virtual time ≥ now. *)
+
+val every : t -> period:float -> ?until:float -> (unit -> unit) -> unit
+(** Periodic callback starting one period from now, optionally bounded. *)
+
+val step : t -> bool
+(** Execute the earliest pending event.  [false] iff the queue was empty. *)
+
+val run : ?until:float -> ?max_events:int -> t -> unit
+(** Drain the queue, stopping early when virtual time would exceed
+    [until] or after [max_events] callbacks. *)
+
+val pending : t -> int
+(** Number of queued events. *)
+
+val events_processed : t -> int
+(** Callbacks executed since creation. *)

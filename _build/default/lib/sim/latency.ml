@@ -1,0 +1,61 @@
+module Rng = Causalb_util.Rng
+
+type t =
+  | Constant of float
+  | Uniform of { lo : float; hi : float }
+  | Exponential of { mean : float; floor : float }
+  | Lognormal of { mu : float; sigma : float; floor : float }
+  | Pareto of { scale : float; shape : float }
+
+let constant d =
+  if d <= 0.0 then invalid_arg "Latency.constant: delay must be positive";
+  Constant d
+
+let uniform ~lo ~hi =
+  if lo <= 0.0 || hi < lo then invalid_arg "Latency.uniform: need 0 < lo <= hi";
+  Uniform { lo; hi }
+
+let exponential ?(floor = 0.0) ~mean () =
+  if mean <= 0.0 then invalid_arg "Latency.exponential: mean must be positive";
+  Exponential { mean; floor }
+
+let lognormal ?(floor = 0.0) ~mu ~sigma () =
+  if sigma < 0.0 then invalid_arg "Latency.lognormal: sigma must be >= 0";
+  Lognormal { mu; sigma; floor }
+
+let pareto ~scale ~shape =
+  if scale <= 0.0 || shape <= 0.0 then
+    invalid_arg "Latency.pareto: scale and shape must be positive";
+  Pareto { scale; shape }
+
+let sample rng = function
+  | Constant d -> d
+  | Uniform { lo; hi } -> lo +. Rng.float rng (hi -. lo)
+  | Exponential { mean; floor } -> floor +. Rng.exponential rng ~mean
+  | Lognormal { mu; sigma; floor } -> floor +. Rng.lognormal rng ~mu ~sigma
+  | Pareto { scale; shape } -> Rng.pareto rng ~scale ~shape
+
+let mean = function
+  | Constant d -> d
+  | Uniform { lo; hi } -> (lo +. hi) /. 2.0
+  | Exponential { mean; floor } -> floor +. mean
+  | Lognormal { mu; sigma; floor } ->
+    floor +. exp (mu +. (sigma *. sigma /. 2.0))
+  | Pareto { scale; shape } ->
+    if shape <= 1.0 then infinity else scale *. shape /. (shape -. 1.0)
+
+let pp ppf = function
+  | Constant d -> Format.fprintf ppf "constant(%.3gms)" d
+  | Uniform { lo; hi } -> Format.fprintf ppf "uniform(%.3g..%.3gms)" lo hi
+  | Exponential { mean; floor } ->
+    Format.fprintf ppf "exp(mean=%.3gms,floor=%.3g)" mean floor
+  | Lognormal { mu; sigma; floor } ->
+    Format.fprintf ppf "lognormal(mu=%.3g,sigma=%.3g,floor=%.3g)" mu sigma floor
+  | Pareto { scale; shape } ->
+    Format.fprintf ppf "pareto(scale=%.3g,shape=%.3g)" scale shape
+
+let to_string t = Format.asprintf "%a" pp t
+
+let lan = Lognormal { mu = 0.0; sigma = 0.5; floor = 0.1 }
+
+let wan = Lognormal { mu = 3.0; sigma = 0.8; floor = 5.0 }

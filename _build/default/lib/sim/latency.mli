@@ -1,0 +1,41 @@
+(** Link-latency models for the simulated network.
+
+    The 1994 paper ran on LAN workstations; we replace the testbed with
+    parameterised delay distributions so experiments can sweep the
+    variance that drives message reordering (the phenomenon causal
+    delivery must mask).  All times are in simulated milliseconds. *)
+
+type t =
+  | Constant of float
+  | Uniform of { lo : float; hi : float }
+  | Exponential of { mean : float; floor : float }
+      (** [floor] is a minimum propagation delay added to the draw. *)
+  | Lognormal of { mu : float; sigma : float; floor : float }
+  | Pareto of { scale : float; shape : float }
+
+val constant : float -> t
+
+val uniform : lo:float -> hi:float -> t
+
+val exponential : ?floor:float -> mean:float -> unit -> t
+
+val lognormal : ?floor:float -> mu:float -> sigma:float -> unit -> t
+
+val pareto : scale:float -> shape:float -> t
+
+val sample : Causalb_util.Rng.t -> t -> float
+(** A strictly positive delay drawn from the model. *)
+
+val mean : t -> float
+(** Analytic mean (for reporting; Pareto with shape ≤ 1 reports [infinity]). *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+val lan : t
+(** Default used across experiments: lognormal with ~1 ms median and a
+    heavy-ish tail, floor 0.1 ms — a plausible shared-segment LAN. *)
+
+val wan : t
+(** Higher-latency, higher-variance profile for stress experiments. *)

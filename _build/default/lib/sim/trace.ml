@@ -1,0 +1,51 @@
+type kind = Send | Receive | Deliver | Drop | Mark
+
+type record = {
+  time : float;
+  node : int;
+  kind : kind;
+  tag : string;
+  info : string;
+}
+
+type t = { mutable items : record list; mutable n : int }
+
+let create ?capacity:_ () = { items = []; n = 0 }
+
+let record t ~time ~node ~kind ~tag ?(info = "") () =
+  t.items <- { time; node; kind; tag; info } :: t.items;
+  t.n <- t.n + 1
+
+let length t = t.n
+
+let events t = List.rev t.items
+
+let filter t p = List.filter p (events t)
+
+let deliveries_at t node =
+  filter t (fun r -> r.node = node && r.kind = Deliver)
+  |> List.map (fun r -> (r.time, r.tag))
+
+let delivery_order t node = List.map snd (deliveries_at t node)
+
+let find_delivery t ~node ~tag =
+  List.find_map
+    (fun (time, tg) -> if String.equal tg tag then Some time else None)
+    (deliveries_at t node)
+
+let kind_to_string = function
+  | Send -> "send"
+  | Receive -> "recv"
+  | Deliver -> "dlvr"
+  | Drop -> "drop"
+  | Mark -> "mark"
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%10.3f n%d %s %s%s@," r.time r.node
+        (kind_to_string r.kind) r.tag
+        (if r.info = "" then "" else " " ^ r.info))
+    (events t);
+  Format.fprintf ppf "@]"

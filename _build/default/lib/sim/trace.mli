@@ -1,0 +1,48 @@
+(** Execution traces.
+
+    Engines and protocols append timestamped records; verifiers and the
+    experiment harness read them back.  A trace is append-only and cheap
+    enough to leave enabled in benchmarks (it is the measurement source,
+    not an afterthought). *)
+
+type kind =
+  | Send        (** message handed to the transport *)
+  | Receive     (** message arrived at a node, pre-ordering *)
+  | Deliver     (** message released to the application *)
+  | Drop        (** fault injection removed the message *)
+  | Mark        (** free-form protocol milestone (stable point, lock grant …) *)
+
+type record = {
+  time : float;
+  node : int;      (** acting node; [-1] for global events *)
+  kind : kind;
+  tag : string;    (** message label or milestone name *)
+  info : string;   (** free-form detail *)
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+val record : t -> time:float -> node:int -> kind:kind -> tag:string ->
+  ?info:string -> unit -> unit
+
+val length : t -> int
+
+val events : t -> record list
+(** In recording order (which equals virtual-time order when produced by
+    one engine). *)
+
+val filter : t -> (record -> bool) -> record list
+
+val deliveries_at : t -> int -> (float * string) list
+(** [(time, tag)] of every [Deliver] at the given node, in order. *)
+
+val delivery_order : t -> int -> string list
+
+val find_delivery : t -> node:int -> tag:string -> float option
+(** Virtual time at which the node delivered the tagged message. *)
+
+val kind_to_string : kind -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,38 @@
+(** Imperative binary min-heap.
+
+    The heap is ordered by a comparison function supplied at creation time;
+    [pop] always returns a minimal element.  Used as the event queue of the
+    discrete-event simulator, where stable behaviour for equal keys is
+    obtained by composing the comparison with a tie-breaking sequence
+    number (see {!Causalb_sim.Engine}). *)
+
+type 'a t
+
+val create : ?capacity:int -> cmp:('a -> 'a -> int) -> unit -> 'a t
+(** [create ~cmp ()] is an empty heap ordered by [cmp].  [capacity] is an
+    initial size hint (default 64); the heap grows as needed. *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** [peek h] is a minimal element of [h], without removing it. *)
+
+val pop : 'a t -> 'a option
+(** [pop h] removes and returns a minimal element of [h]. *)
+
+val pop_exn : 'a t -> 'a
+(** Like {!pop}.  @raise Invalid_argument on an empty heap. *)
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> 'a list
+(** [to_list h] is the elements of [h] in unspecified order.  [h] is not
+    modified. *)
+
+val drain : 'a t -> 'a list
+(** [drain h] pops every element; the result is in ascending order and the
+    heap is left empty. *)

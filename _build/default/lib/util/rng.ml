@@ -1,0 +1,72 @@
+type t = { mutable state : int64 }
+
+(* SplitMix64 (Steele, Lea & Flood 2014): tiny state, good statistical
+   quality, and a principled [split] — exactly what deterministic
+   simulation needs. *)
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+
+let next t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t = { state = next t }
+
+let copy t = { state = t.state }
+
+let int64 t = next t
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Keep 62 bits so the value fits OCaml's 63-bit native int without
+     wrapping negative.  Rejection-free modulo is fine for simulation
+     purposes: bias is < bound / 2^62, negligible for the bounds used
+     here. *)
+  let v = Int64.to_int (Int64.shift_right_logical (next t) 2) in
+  v mod bound
+
+let float t bound =
+  (* 53 high bits -> uniform double in [0,1). *)
+  let bits = Int64.to_float (Int64.shift_right_logical (next t) 11) in
+  bound *. (bits /. 9007199254740992.0)
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+let bernoulli t p = float t 1.0 < p
+
+let exponential t ~mean =
+  let u = 1.0 -. float t 1.0 in
+  -.mean *. log u
+
+let gaussian t ~mu ~sigma =
+  (* Box–Muller; one draw discarded for simplicity. *)
+  let u1 = 1.0 -. float t 1.0 and u2 = float t 1.0 in
+  let z = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
+  mu +. (sigma *. z)
+
+let lognormal t ~mu ~sigma = exp (gaussian t ~mu ~sigma)
+
+let pareto t ~scale ~shape =
+  let u = 1.0 -. float t 1.0 in
+  scale /. (u ** (1.0 /. shape))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick: empty array";
+  a.(int t (Array.length a))
+
+let pick_list t l = pick t (Array.of_list l)

@@ -1,0 +1,71 @@
+type t = {
+  title : string;
+  columns : string list;
+  mutable rows : string list list; (* reversed *)
+}
+
+let create ~title ~columns = { title; columns; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.columns then
+    invalid_arg
+      (Printf.sprintf "Table.add_row: expected %d cells, got %d"
+         (List.length t.columns) (List.length row));
+  t.rows <- row :: t.rows
+
+let add_rowf t fmt =
+  Printf.ksprintf (fun s -> add_row t (String.split_on_char '\t' s)) fmt
+
+let widths t =
+  let all = t.columns :: List.rev t.rows in
+  let ncols = List.length t.columns in
+  let w = Array.make ncols 0 in
+  let measure row =
+    List.iteri (fun i cell -> w.(i) <- max w.(i) (String.length cell)) row
+  in
+  List.iter measure all;
+  w
+
+let pad width s = s ^ String.make (max 0 (width - String.length s)) ' '
+
+let render t =
+  let w = widths t in
+  let buf = Buffer.create 512 in
+  let line ch =
+    Array.iter (fun width -> Buffer.add_string buf ("+" ^ String.make (width + 2) ch)) w;
+    Buffer.add_string buf "+\n"
+  in
+  let row cells =
+    List.iteri
+      (fun i cell -> Buffer.add_string buf (Printf.sprintf "| %s " (pad w.(i) cell)))
+      cells;
+    Buffer.add_string buf "|\n"
+  in
+  Buffer.add_string buf (Printf.sprintf "== %s ==\n" t.title);
+  line '-';
+  row t.columns;
+  line '=';
+  List.iter row (List.rev t.rows);
+  line '-';
+  Buffer.contents buf
+
+let print t =
+  print_string (render t);
+  print_newline ()
+
+let escape_csv cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let to_csv t =
+  let line cells = String.concat "," (List.map escape_csv cells) in
+  String.concat "\n" (line t.columns :: List.map line (List.rev t.rows))
+
+let fmt_float ?(digits = 3) x =
+  if Float.is_nan x then "-" else Printf.sprintf "%.*f" digits x
+
+let fmt_int = string_of_int
+
+let fmt_pct x =
+  if Float.is_nan x then "-" else Printf.sprintf "%.1f%%" (100.0 *. x)

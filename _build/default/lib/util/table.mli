@@ -1,0 +1,34 @@
+(** ASCII table rendering for the experiment harness.
+
+    The benchmark binaries print paper-style tables to stdout; this module
+    keeps the formatting in one place so every experiment renders rows the
+    same way and the output stays diff-friendly across runs. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+(** A table with a caption and named columns. *)
+
+val add_row : t -> string list -> unit
+(** Appends a row.  @raise Invalid_argument if the arity differs from the
+    column count. *)
+
+val add_rowf : t -> ('a, unit, string, unit) format4 -> 'a
+(** [add_rowf t fmt …] formats a single tab-separated string and splits it
+    into cells on ['\t']. *)
+
+val render : t -> string
+(** Aligned, boxed rendering including the title. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a blank line. *)
+
+val to_csv : t -> string
+(** Comma-separated rendering (header + rows) for machine consumption. *)
+
+(** {1 Cell formatting helpers} *)
+
+val fmt_float : ?digits:int -> float -> string
+val fmt_int : int -> string
+val fmt_pct : float -> string
+(** Fraction [0..1] rendered as a percentage. *)

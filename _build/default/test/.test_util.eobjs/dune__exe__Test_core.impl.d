@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Causalb_clock Causalb_core Causalb_graph Causalb_net Causalb_sim Fmt Format List Printf String

@@ -1,0 +1,1 @@
+test/test_data.ml: Alcotest Array Causalb_core Causalb_data Causalb_graph Causalb_net Causalb_sim Causalb_util Hashtbl Int List Option Printf String

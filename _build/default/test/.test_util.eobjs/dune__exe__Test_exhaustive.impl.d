@@ -1,0 +1,1 @@
+test/test_exhaustive.ml: Alcotest Array Causalb_core Causalb_graph Fun List Option Printf

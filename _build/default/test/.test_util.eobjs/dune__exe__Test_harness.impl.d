@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Causalb_harness Causalb_util

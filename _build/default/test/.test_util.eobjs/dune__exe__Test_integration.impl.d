@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Causalb_core Causalb_data Causalb_graph Causalb_net Causalb_sim Causalb_util Hashtbl List

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Array Causalb_net Causalb_sim Fun List Printf

@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Array Causalb_clock Causalb_core Causalb_data Causalb_graph Causalb_net Causalb_sim Causalb_util Fun Int List Printf QCheck2 QCheck_alcotest

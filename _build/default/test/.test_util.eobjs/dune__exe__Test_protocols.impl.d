@@ -1,0 +1,1 @@
+test/test_protocols.ml: Alcotest Array Causalb_data Causalb_protocols Causalb_sim Causalb_util List Option Printf String

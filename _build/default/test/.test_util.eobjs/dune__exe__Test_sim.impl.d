@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Causalb_sim Causalb_util Format List String

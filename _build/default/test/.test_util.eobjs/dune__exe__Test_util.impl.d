@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Causalb_util Float Fun Int List String

@@ -1,0 +1,1 @@
+test/test_vgroup.ml: Alcotest Array Causalb_core Causalb_graph Causalb_net Causalb_sim List Printf

@@ -1,0 +1,162 @@
+(* Unit tests for logical clocks: Lamport, vector, matrix. *)
+
+module Lamport = Causalb_clock.Lamport
+module Vc = Causalb_clock.Vector_clock
+module Mc = Causalb_clock.Matrix_clock
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- Lamport --- *)
+
+let test_lamport_tick () =
+  let c = Lamport.zero in
+  let c1 = Lamport.tick c in
+  let c2 = Lamport.tick c1 in
+  check_int "tick twice" 2 (Lamport.to_int c2);
+  check "monotone" true (Lamport.compare c c2 < 0)
+
+let test_lamport_receive () =
+  let local = Lamport.of_int 3 and remote = Lamport.of_int 7 in
+  check_int "max+1" 8 (Lamport.to_int (Lamport.receive ~local ~remote));
+  check_int "symmetric" 8 (Lamport.to_int (Lamport.receive ~local:remote ~remote:local))
+
+let test_lamport_of_int_negative () =
+  Alcotest.check_raises "negative" (Invalid_argument "Lamport.of_int: negative")
+    (fun () -> ignore (Lamport.of_int (-1)))
+
+let test_lamport_clock_condition () =
+  (* If event a's processing happens before b (b sees a's timestamp via
+     receive), then L(a) < L(b). *)
+  let a = Lamport.tick (Lamport.of_int 5) in
+  let b = Lamport.receive ~local:Lamport.zero ~remote:a in
+  check "clock condition" true (Lamport.compare a b < 0)
+
+(* --- Vector clocks --- *)
+
+let test_vc_create () =
+  let v = Vc.create 3 in
+  check_int "size" 3 (Vc.size v);
+  for i = 0 to 2 do
+    check_int "zero" 0 (Vc.get v i)
+  done;
+  Alcotest.check_raises "bad size"
+    (Invalid_argument "Vector_clock.create: size must be positive") (fun () ->
+      ignore (Vc.create 0))
+
+let test_vc_tick_functional () =
+  let v = Vc.create 3 in
+  let v1 = Vc.tick v 1 in
+  check_int "ticked" 1 (Vc.get v1 1);
+  check_int "original untouched" 0 (Vc.get v 1)
+
+let test_vc_merge_lub () =
+  let a = Vc.of_array [| 1; 5; 2 |] and b = Vc.of_array [| 3; 1; 2 |] in
+  let m = Vc.merge a b in
+  check "lub" true (Vc.equal m (Vc.of_array [| 3; 5; 2 |]));
+  check "a <= m" true (Vc.leq a m);
+  check "b <= m" true (Vc.leq b m)
+
+let test_vc_orderings () =
+  let a = Vc.of_array [| 1; 0 |] in
+  let b = Vc.of_array [| 1; 1 |] in
+  let c = Vc.of_array [| 0; 2 |] in
+  check "a < b" true (Vc.compare_causal a b = Vc.Before);
+  check "b > a" true (Vc.compare_causal b a = Vc.After);
+  check "a || c" true (Vc.compare_causal a c = Vc.Concurrent);
+  check "a = a" true (Vc.compare_causal a a = Vc.Equal);
+  check "concurrent fn" true (Vc.concurrent a c);
+  check "lt strict" true (Vc.lt a b && not (Vc.lt a a))
+
+let test_vc_receive () =
+  let local = Vc.of_array [| 2; 0; 1 |] in
+  let remote = Vc.of_array [| 1; 3; 0 |] in
+  let v = Vc.receive ~local ~remote ~me:0 in
+  check "receive merges and ticks" true (Vc.equal v (Vc.of_array [| 3; 3; 1 |]))
+
+let test_vc_size_mismatch () =
+  Alcotest.check_raises "mismatch" (Invalid_argument "Vector_clock: size mismatch")
+    (fun () -> ignore (Vc.merge (Vc.create 2) (Vc.create 3)))
+
+let test_vc_dominates_all () =
+  let v = Vc.of_array [| 3; 3 |] in
+  check "dominates" true
+    (Vc.dominates_all v [ Vc.of_array [| 1; 2 |]; Vc.of_array [| 3; 0 |] ]);
+  check "not dominates" false (Vc.dominates_all v [ Vc.of_array [| 4; 0 |] ])
+
+let test_vc_happens_before_characterisation () =
+  (* Simulate three processes: e1 at p0, then p1 receives and e2, then p2
+     receives from p1 and e3.  V(e1) < V(e2) < V(e3). *)
+  let p0 = Vc.tick (Vc.create 3) 0 in
+  let p1 = Vc.receive ~local:(Vc.create 3) ~remote:p0 ~me:1 in
+  let p2 = Vc.receive ~local:(Vc.create 3) ~remote:p1 ~me:2 in
+  check "e1 < e2" true (Vc.lt p0 p1);
+  check "e2 < e3" true (Vc.lt p1 p2);
+  check "e1 < e3 (transitive)" true (Vc.lt p0 p2)
+
+(* --- Matrix clocks --- *)
+
+let test_mc_create () =
+  let m = Mc.create 3 in
+  check_int "size" 3 (Mc.size m);
+  check "rows zero" true (Vc.equal (Mc.row m 1) (Vc.create 3))
+
+let test_mc_update_row () =
+  let m = Mc.create 2 in
+  let m' = Mc.update_row m 1 (Vc.of_array [| 1; 4 |]) in
+  check "row updated" true (Vc.equal (Mc.row m' 1) (Vc.of_array [| 1; 4 |]));
+  check "original intact" true (Vc.equal (Mc.row m 1) (Vc.create 2))
+
+let test_mc_min_vector () =
+  let m = Mc.create 2 in
+  let m = Mc.update_row m 0 (Vc.of_array [| 3; 1 |]) in
+  let m = Mc.update_row m 1 (Vc.of_array [| 2; 5 |]) in
+  check "min" true (Vc.equal (Mc.min_vector m) (Vc.of_array [| 2; 1 |]))
+
+let test_mc_stability () =
+  let m = Mc.create 3 in
+  let v = Vc.of_array [| 2; 0; 0 |] in
+  let m = Mc.update_row m 0 v in
+  check "not stable yet" false (Mc.stable m ~event_owner:0 ~event_stamp:2);
+  let m = Mc.update_row m 1 v in
+  let m = Mc.update_row m 2 v in
+  check "stable once all know" true (Mc.stable m ~event_owner:0 ~event_stamp:2);
+  check "later event unstable" false (Mc.stable m ~event_owner:0 ~event_stamp:3)
+
+let test_mc_merge () =
+  let a = Mc.update_row (Mc.create 2) 0 (Vc.of_array [| 1; 0 |]) in
+  let b = Mc.update_row (Mc.create 2) 1 (Vc.of_array [| 0; 2 |]) in
+  let m = Mc.merge a b in
+  check "row0" true (Vc.equal (Mc.row m 0) (Vc.of_array [| 1; 0 |]));
+  check "row1" true (Vc.equal (Mc.row m 1) (Vc.of_array [| 0; 2 |]))
+
+let () =
+  Alcotest.run "clock"
+    [
+      ( "lamport",
+        [
+          Alcotest.test_case "tick" `Quick test_lamport_tick;
+          Alcotest.test_case "receive" `Quick test_lamport_receive;
+          Alcotest.test_case "of_int negative" `Quick test_lamport_of_int_negative;
+          Alcotest.test_case "clock condition" `Quick test_lamport_clock_condition;
+        ] );
+      ( "vector",
+        [
+          Alcotest.test_case "create" `Quick test_vc_create;
+          Alcotest.test_case "tick functional" `Quick test_vc_tick_functional;
+          Alcotest.test_case "merge lub" `Quick test_vc_merge_lub;
+          Alcotest.test_case "orderings" `Quick test_vc_orderings;
+          Alcotest.test_case "receive" `Quick test_vc_receive;
+          Alcotest.test_case "size mismatch" `Quick test_vc_size_mismatch;
+          Alcotest.test_case "dominates_all" `Quick test_vc_dominates_all;
+          Alcotest.test_case "happens-before" `Quick test_vc_happens_before_characterisation;
+        ] );
+      ( "matrix",
+        [
+          Alcotest.test_case "create" `Quick test_mc_create;
+          Alcotest.test_case "update_row" `Quick test_mc_update_row;
+          Alcotest.test_case "min_vector" `Quick test_mc_min_vector;
+          Alcotest.test_case "stability" `Quick test_mc_stability;
+          Alcotest.test_case "merge" `Quick test_mc_merge;
+        ] );
+    ]

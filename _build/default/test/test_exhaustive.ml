@@ -1,0 +1,186 @@
+(* Exhaustive schedule exploration on small instances.
+
+   The random/property tests sample arrival orders; here we enumerate
+   EVERY permutation of message arrivals for a family of small dependency
+   graphs and assert, for each schedule:
+
+   - the OSend engine delivers every message (liveness given complete
+     arrival);
+   - the delivery order is a linear extension of the graph (safety);
+   - the extracted dependency graph is identical regardless of schedule
+     (stable information);
+   - two members fed different schedules agree on the delivered set, and
+     their states agree after the closing sync for transition-preserving
+     ops (stable point).
+
+   Factorials are kept small (≤ 6 messages → ≤ 720 schedules/graph). *)
+
+module Label = Causalb_graph.Label
+module Dep = Causalb_graph.Dep
+module Depgraph = Causalb_graph.Depgraph
+module Message = Causalb_core.Message
+module Osend = Causalb_core.Osend
+module Checker = Causalb_core.Checker
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let l i = Label.make ~origin:(i mod 3) ~seq:(i / 3) ()
+
+(* graph families: (name, deps per message index) *)
+let families =
+  [
+    ("chain5", [ []; [ 0 ]; [ 1 ]; [ 2 ]; [ 3 ] ]);
+    ("fan", [ []; [ 0 ]; [ 0 ]; [ 0 ]; [ 1; 2; 3 ] ]);
+    ("diamond", [ []; [ 0 ]; [ 0 ]; [ 1; 2 ] ]);
+    ("two-chains", [ []; [ 0 ]; []; [ 2 ]; [ 1; 3 ] ]);
+    ("independent4", [ []; []; []; [] ]);
+    ("vee", [ []; []; [ 0; 1 ] ]);
+    ("w-shape", [ []; []; [ 0; 1 ]; [ 1 ]; [ 2; 3 ] ]);
+    ("independent3", [ []; []; [] ]);
+  ]
+
+let messages_of deps =
+  List.mapi
+    (fun i d ->
+      Message.make ~label:(l i) ~sender:(i mod 3)
+        ~dep:(Dep.after_all (List.map l d))
+        i)
+    deps
+
+let graph_of deps =
+  let g = Depgraph.create () in
+  List.iteri
+    (fun i d -> Depgraph.add g (l i) ~dep:(Dep.after_all (List.map l d)))
+    deps;
+  g
+
+(* index-based so that equal elements (duplicate arrivals) are permuted
+   as distinct events *)
+let permutations items =
+  let arr = Array.of_list items in
+  let n = Array.length arr in
+  let rec perms remaining =
+    match remaining with
+    | [] -> [ [] ]
+    | _ ->
+      List.concat_map
+        (fun i ->
+          let rest = List.filter (( <> ) i) remaining in
+          List.map (fun p -> i :: p) (perms rest))
+        remaining
+  in
+  List.map (fun ixs -> List.map (Array.get arr) ixs) (perms (List.init n Fun.id))
+
+let edges_sorted g = List.sort compare (Depgraph.edges g)
+
+let test_family (name, deps) () =
+  let msgs = messages_of deps in
+  let truth = graph_of deps in
+  let n = List.length deps in
+  let schedules = permutations msgs in
+  check_int
+    (Printf.sprintf "%s: n! schedules" name)
+    (List.fold_left ( * ) 1 (List.init n (fun i -> i + 1)))
+    (List.length schedules);
+  let reference_edges = edges_sorted truth in
+  List.iter
+    (fun schedule ->
+      let m = Osend.create ~id:0 () in
+      List.iter (Osend.receive m) schedule;
+      check (name ^ ": all delivered") true (Osend.delivered_count m = n);
+      check (name ^ ": no pending") true (Osend.pending_count m = 0);
+      check
+        (name ^ ": valid extension")
+        true
+        (Checker.causal_safety truth (Osend.delivered_order m));
+      check
+        (name ^ ": stable graph")
+        true
+        (edges_sorted (Osend.graph m) = reference_edges))
+    schedules
+
+(* Stable-point agreement across ALL pairs of schedules: applying the
+   delivered orders of two differently-scheduled members to commutative
+   ops reaches the same final state. *)
+let test_stable_point_agreement_exhaustive () =
+  (* fan: m0 -> ||{m1,m2,m3} -> m4 with integer increments *)
+  let deps = [ []; [ 0 ]; [ 0 ]; [ 0 ]; [ 1; 2; 3 ] ] in
+  let msgs = messages_of deps in
+  let weight i = (i + 1) * 10 in
+  let apply s lbl =
+    (* opening and closing are syncs (identity); interior adds weight *)
+    let i =
+      (Label.origin lbl * 1) + (Label.seq lbl * 3)
+      (* inverse of l: origin = i mod 3, seq = i / 3 *)
+    in
+    if i = 0 || i = 4 then s else s + weight i
+  in
+  let finals =
+    List.map
+      (fun schedule ->
+        let m = Osend.create ~id:0 () in
+        List.iter (Osend.receive m) schedule;
+        List.fold_left apply 0 (Osend.delivered_order m))
+      (permutations msgs)
+  in
+  check "every schedule reaches the same stable state" true
+    (List.for_all (( = ) (List.hd finals)) finals)
+
+(* OR-dependency exhaustively: c waits for a OR b; in every schedule c is
+   delivered after at least one of them. *)
+let test_or_dependency_exhaustive () =
+  let a = l 0 and b = l 1 and c = l 2 in
+  let msgs =
+    [
+      Message.make ~label:a ~sender:0 ~dep:Dep.null "a";
+      Message.make ~label:b ~sender:1 ~dep:Dep.null "b";
+      Message.make ~label:c ~sender:2 ~dep:(Dep.after_any [ a; b ]) "c";
+    ]
+  in
+  List.iter
+    (fun schedule ->
+      let m = Osend.create ~id:0 () in
+      List.iter (Osend.receive m) schedule;
+      check_int "all three delivered" 3 (Osend.delivered_count m);
+      let order = Osend.delivered_order m in
+      let pos x =
+        Option.get (List.find_index (Label.equal x) order)
+      in
+      check "c after a or after b" true (pos c > pos a || pos c > pos b))
+    (permutations msgs)
+
+(* Duplicated arrivals interleaved exhaustively for a small chain: each
+   message arrives twice in every possible relative order of 4 events. *)
+let test_duplicates_exhaustive () =
+  let a =
+    Message.make ~label:(l 0) ~sender:0 ~dep:Dep.null "a"
+  in
+  let b =
+    Message.make ~label:(l 1) ~sender:1 ~dep:(Dep.after (l 0)) "b"
+  in
+  List.iter
+    (fun schedule ->
+      let m = Osend.create ~id:0 () in
+      List.iter (Osend.receive m) schedule;
+      check_int "delivered exactly twice total" 2 (Osend.delivered_count m);
+      check "order a,b" true
+        (List.map Label.name (Osend.delivered_order m) = [ "m0.0"; "m1.0" ]))
+    (permutations [ a; a; b; b ])
+
+let () =
+  Alcotest.run "exhaustive"
+    [
+      ( "schedules",
+        List.map
+          (fun family ->
+            Alcotest.test_case (fst family) `Quick (test_family family))
+          families );
+      ( "invariants",
+        [
+          Alcotest.test_case "stable point agreement" `Quick
+            test_stable_point_agreement_exhaustive;
+          Alcotest.test_case "OR dependency" `Quick test_or_dependency_exhaustive;
+          Alcotest.test_case "duplicates" `Quick test_duplicates_exhaustive;
+        ] );
+    ]

@@ -1,0 +1,405 @@
+(* Unit tests for labels, Occurs_After predicates, dependency graphs and
+   causal activities. *)
+
+module Label = Causalb_graph.Label
+module Dep = Causalb_graph.Dep
+module Depgraph = Causalb_graph.Depgraph
+module Activity = Causalb_graph.Activity
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let l ?name origin seq = Label.make ?name ~origin ~seq ()
+
+(* --- Label --- *)
+
+let test_label_identity () =
+  let a = l 1 2 and b = l ~name:"other" 1 2 and c = l 1 3 in
+  check "name-independent equality" true (Label.equal a b);
+  check "differs by seq" false (Label.equal a c);
+  check "compare equal" true (Label.compare a b = 0);
+  check "hash equal" true (Label.hash a = Label.hash b)
+
+let test_label_names () =
+  check "default name" true (Label.name (l 2 5) = "m2.5");
+  check "explicit name" true (Label.name (l ~name:"mk" 0 0) = "mk")
+
+let test_label_compare_order () =
+  check "origin dominates" true (Label.compare (l 0 9) (l 1 0) < 0);
+  check "seq within origin" true (Label.compare (l 1 0) (l 1 1) < 0)
+
+let test_label_validation () =
+  Alcotest.check_raises "negative origin"
+    (Invalid_argument "Label.make: negative origin") (fun () ->
+      ignore (l (-1) 0));
+  Alcotest.check_raises "negative seq"
+    (Invalid_argument "Label.make: negative seq") (fun () -> ignore (l 0 (-2)))
+
+let test_label_set_map () =
+  let s = Label.Set.of_list [ l 0 0; l 0 0; l 0 1 ] in
+  check_int "set dedups" 2 (Label.Set.cardinal s);
+  let m = Label.Map.singleton (l 1 1) "x" in
+  check "map find by equal label" true
+    (Label.Map.find_opt (l ~name:"alias" 1 1) m = Some "x")
+
+(* --- Dep --- *)
+
+let test_dep_normalisation () =
+  check "empty all is null" true (Dep.equal (Dep.after_all []) Dep.null);
+  check "singleton all is after" true
+    (Dep.equal (Dep.after_all [ l 0 0 ]) (Dep.after (l 0 0)));
+  check "empty any is null" true (Dep.equal (Dep.after_any []) Dep.null);
+  check "dedup" true
+    (Dep.equal (Dep.after_all [ l 0 0; l 0 0 ]) (Dep.after (l 0 0)))
+
+let test_dep_satisfied () =
+  let d = Dep.after_all [ l 0 0; l 0 1 ] in
+  let delivered lbls x = List.exists (Label.equal x) lbls in
+  check "null always" true (Dep.satisfied ~delivered:(delivered []) Dep.null);
+  check "all missing" false (Dep.satisfied ~delivered:(delivered []) d);
+  check "partial" false (Dep.satisfied ~delivered:(delivered [ l 0 0 ]) d);
+  check "complete" true
+    (Dep.satisfied ~delivered:(delivered [ l 0 0; l 0 1 ]) d);
+  let any = Dep.after_any [ l 0 0; l 0 1 ] in
+  check "any one suffices" true
+    (Dep.satisfied ~delivered:(delivered [ l 0 1 ]) any);
+  check "any none" false (Dep.satisfied ~delivered:(delivered []) any)
+
+let test_dep_ancestors () =
+  check_int "null" 0 (List.length (Dep.ancestors Dep.null));
+  check_int "after" 1 (List.length (Dep.ancestors (Dep.after (l 0 0))));
+  check_int "all" 3
+    (List.length (Dep.ancestors (Dep.after_all [ l 0 0; l 0 1; l 1 0 ])))
+
+(* --- Depgraph --- *)
+
+(* The paper's Fig. 2 scenario: mk -> ||{mi, mi'} and later mj depends on
+   both (the synchronization point). *)
+let fig2_graph () =
+  let mk = l ~name:"mk" 2 0 in
+  let mi = l ~name:"mi" 0 0 in
+  let mi' = l ~name:"mi'" 1 0 in
+  let mj = l ~name:"mj" 0 1 in
+  let g = Depgraph.create () in
+  Depgraph.add g mk ~dep:Dep.null;
+  Depgraph.add g mi ~dep:(Dep.after mk);
+  Depgraph.add g mi' ~dep:(Dep.after mk);
+  Depgraph.add g mj ~dep:(Dep.after_all [ mi; mi' ]);
+  (g, mk, mi, mi', mj)
+
+let test_graph_structure () =
+  let g, mk, mi, mi', mj = fig2_graph () in
+  check_int "size" 4 (Depgraph.size g);
+  check "mem" true (Depgraph.mem g mk);
+  check "roots" true (Depgraph.roots g = [ mk ]);
+  check "leaves" true (Depgraph.leaves g = [ mj ]);
+  check "parents of mj" true
+    (List.length (Depgraph.parents g mj) = 2);
+  check "children of mk" true
+    (Label.Set.equal
+       (Label.Set.of_list (Depgraph.children g mk))
+       (Label.Set.of_list [ mi; mi' ]))
+
+let test_graph_happens_before () =
+  let g, mk, mi, mi', mj = fig2_graph () in
+  check "mk -> mj transitively" true (Depgraph.happens_before g mk mj);
+  check "mi || mi'" true (Depgraph.concurrent g mi mi');
+  check "not mj -> mk" false (Depgraph.happens_before g mj mk);
+  check "self not concurrent" false (Depgraph.concurrent g mi mi)
+
+let test_graph_ancestors_descendants () =
+  let g, mk, mi, mi', mj = fig2_graph () in
+  check "ancestors of mj" true
+    (Label.Set.equal (Depgraph.ancestors g mj)
+       (Label.Set.of_list [ mk; mi; mi' ]));
+  check "descendants of mk" true
+    (Label.Set.equal (Depgraph.descendants g mk)
+       (Label.Set.of_list [ mi; mi'; mj ]))
+
+let test_graph_duplicate_and_self () =
+  let g = Depgraph.create () in
+  let a = l 0 0 in
+  Depgraph.add g a ~dep:Dep.null;
+  check "duplicate rejected" true
+    (try
+       Depgraph.add g a ~dep:Dep.null;
+       false
+     with Invalid_argument _ -> true);
+  check "self-dep rejected" true
+    (try
+       Depgraph.add g (l 0 1) ~dep:(Dep.after (l 0 1));
+       false
+     with Invalid_argument _ -> true)
+
+let test_graph_topological () =
+  let g, mk, _, _, mj = fig2_graph () in
+  let topo = Depgraph.topological g in
+  check_int "complete" 4 (List.length topo);
+  check "starts with root" true (Label.equal (List.hd topo) mk);
+  check "ends with sink" true (Label.equal (List.nth topo 3) mj);
+  check "valid extension" true (Depgraph.verify_sequence g topo)
+
+let test_graph_linearizations () =
+  let g, _, _, _, _ = fig2_graph () in
+  let seqs = Depgraph.linearizations g in
+  (* mk first, mj last, mi/mi' in either order: exactly 2. *)
+  check_int "two linearizations" 2 (List.length seqs);
+  check "all valid" true (List.for_all (Depgraph.verify_sequence g) seqs);
+  check_int "count matches" 2 (Depgraph.count_linearizations g)
+
+let test_graph_linearizations_factorial () =
+  (* r independent messages have r! linearizations ((r+1)! bound with the
+     opening message, as in the paper). *)
+  let g = Depgraph.create () in
+  for i = 0 to 4 do
+    Depgraph.add g (l 0 i) ~dep:Dep.null
+  done;
+  check_int "5! sequences" 120 (Depgraph.count_linearizations g);
+  check_int "limit respected" 7
+    (List.length (Depgraph.linearizations ~limit:7 g))
+
+let test_graph_sync_points () =
+  let g, mk, _, _, mj = fig2_graph () in
+  let sps = Depgraph.sync_points g in
+  check "mk and mj are sync points" true
+    (Label.Set.equal (Label.Set.of_list sps) (Label.Set.of_list [ mk; mj ]))
+
+let test_graph_verify_sequence () =
+  let g, mk, mi, mi', mj = fig2_graph () in
+  check "good" true (Depgraph.verify_sequence g [ mk; mi'; mi; mj ]);
+  check "bad: mj early" false (Depgraph.verify_sequence g [ mk; mi; mj; mi' ]);
+  check "bad: before root" false (Depgraph.verify_sequence g [ mi; mk; mi'; mj ]);
+  check "subset ok" true (Depgraph.verify_sequence g [ mk; mi ]);
+  (* a sequence omitting an ancestor entirely does not violate it *)
+  check "omitted ancestor ignored" true (Depgraph.verify_sequence g [ mi; mi' ])
+
+let test_graph_restrict () =
+  let g, mk, mi, mi', mj = fig2_graph () in
+  let sub = Depgraph.restrict g (Label.Set.of_list [ mi; mi'; mj ]) in
+  check_int "restricted size" 3 (Depgraph.size sub);
+  check "mk gone" false (Depgraph.mem sub mk);
+  check "mi now root" true (List.mem mi (Depgraph.roots sub));
+  check "mj still depends" true (List.length (Depgraph.parents sub mj) = 2)
+
+let test_graph_unknown_ancestor () =
+  (* A predicate may name a message the graph hasn't seen; parents only
+     reports present ones. *)
+  let g = Depgraph.create () in
+  let ghost = l 9 9 in
+  let a = l 0 0 in
+  Depgraph.add g a ~dep:(Dep.after ghost);
+  check_int "no present parents" 0 (List.length (Depgraph.parents g a));
+  check "dep preserved" true (Dep.equal (Depgraph.dep_of g a) (Dep.after ghost))
+
+let test_graph_edges_and_dot () =
+  let g, _, _, _, _ = fig2_graph () in
+  check_int "edges" 4 (List.length (Depgraph.edges g));
+  let dot = Depgraph.to_dot g in
+  check "dot nonempty" true (String.length dot > 20)
+
+let test_graph_not_found () =
+  let g = Depgraph.create () in
+  check "not found" true
+    (try
+       ignore (Depgraph.parents g (l 0 0));
+       false
+     with Not_found -> true)
+
+(* --- Activity --- *)
+
+let test_activity_fan_graph () =
+  let m0 = l ~name:"m0" 0 0 in
+  let body = [ l 1 0; l 2 0; l 3 0 ] in
+  let m4 = l ~name:"m4" 0 1 in
+  let act = Activity.fan ~opening:m0 ~closing:m4 ~body () in
+  let g = Activity.graph act in
+  check_int "size" 5 (Depgraph.size g);
+  check "m0 root" true (Depgraph.roots g = [ m0 ]);
+  check "m4 leaf" true (Depgraph.leaves g = [ m4 ]);
+  check_int "members" 5 (List.length (Activity.members act));
+  (* 3 concurrent interior messages -> 3! = 6 sequences *)
+  check_int "3! sequences" 6 (Depgraph.count_linearizations g)
+
+let test_activity_transition_preserving_commutative () =
+  (* Increments commute: any interleaving reaches the same sum. *)
+  let body = [ l 1 0; l 2 0; l 3 0 ] in
+  let act = Activity.fan ~opening:(l 0 0) ~closing:(l 0 1) ~body () in
+  let apply s lbl = s + Label.origin lbl in
+  check "stable point" true
+    (Activity.is_stable_point ~apply ~equal:Int.equal ~init:0 act)
+
+let test_activity_not_transition_preserving () =
+  (* Overwrites do not commute: final state depends on order. *)
+  let body = [ l 1 0; l 2 0 ] in
+  let act = Activity.fan ~opening:(l 0 0) ~closing:(l 0 1) ~body () in
+  let apply s lbl = if Label.origin lbl = 0 then s else Label.origin lbl in
+  check "not stable" false
+    (Activity.is_stable_point ~apply ~equal:Int.equal ~init:0 act);
+  let finals =
+    Activity.final_states ~apply ~equal:Int.equal ~init:0 (Activity.graph act)
+  in
+  check_int "two distinct finals" 2 (List.length finals)
+
+let test_activity_empty_body () =
+  let act = Activity.fan ~opening:(l 0 0) ~closing:(l 0 1) ~body:[] () in
+  let g = Activity.graph act in
+  check_int "chain of two" 2 (Depgraph.size g);
+  check_int "one sequence" 1 (Depgraph.count_linearizations g);
+  check "trivially stable" true
+    (Activity.is_stable_point ~apply:(fun s _ -> s + 1) ~equal:Int.equal
+       ~init:0 act)
+
+let test_activity_no_opening () =
+  let act = Activity.fan ~body:[ l 0 0; l 1 0 ] () in
+  let g = Activity.graph act in
+  check_int "both roots" 2 (List.length (Depgraph.roots g))
+
+(* --- Infer --- *)
+
+module Infer = Causalb_graph.Infer
+
+let test_infer_exact_from_all_linearizations () =
+  let g, _, _, _, _ = fig2_graph () in
+  let observations = Depgraph.linearizations g in
+  let inferred = Infer.infer observations in
+  check "exact recovery" true (Infer.exact ~truth:g inferred);
+  check "sound" true (Infer.over_approximation ~truth:g inferred)
+
+let test_infer_single_observation_is_chain () =
+  let g, _, _, _, _ = fig2_graph () in
+  let one = [ Depgraph.topological g ] in
+  let inferred = Infer.infer one in
+  (* a single total order infers a chain: still sound, not exact *)
+  check "sound" true (Infer.over_approximation ~truth:g inferred);
+  check "not exact" false (Infer.exact ~truth:g inferred);
+  check_int "chain has n-1 direct edges" 3
+    (List.length (Depgraph.edges inferred))
+
+let test_infer_monotone_improvement () =
+  let g, _, _, _, _ = fig2_graph () in
+  let seqs = Depgraph.linearizations g in
+  let closure gr =
+    List.length
+      (List.concat_map
+         (fun a ->
+           List.filter (Depgraph.happens_before gr a) (Depgraph.labels gr))
+         (Depgraph.labels gr))
+  in
+  let with_one = Infer.infer [ List.hd seqs ] in
+  let with_all = Infer.infer seqs in
+  check "more observations, fewer constraints" true
+    (closure with_all <= closure with_one)
+
+let test_infer_precedence_partial_observations () =
+  (* sequences over different subsets still combine *)
+  let a = l 0 0 and b = l 1 0 and c = l 2 0 in
+  let pairs = Infer.precedence [ [ a; b ]; [ b; c ] ] in
+  check "a<b kept" true (List.exists (fun (x, y) -> Label.equal x a && Label.equal y b) pairs);
+  check "b<c kept" true (List.exists (fun (x, y) -> Label.equal x b && Label.equal y c) pairs);
+  (* a and c never co-occur: no pair *)
+  check "a,c unordered" false
+    (List.exists
+       (fun (x, y) ->
+         (Label.equal x a && Label.equal y c)
+         || (Label.equal x c && Label.equal y a))
+       pairs)
+
+let test_infer_conflicting_orders_means_concurrent () =
+  let a = l 0 0 and b = l 1 0 in
+  let pairs = Infer.precedence [ [ a; b ]; [ b; a ] ] in
+  check_int "no precedence survives" 0 (List.length pairs)
+
+let test_infer_duplicate_rejected () =
+  let a = l 0 0 in
+  check "duplicate" true
+    (try
+       ignore (Infer.precedence [ [ a; a ] ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_transitive_reduction () =
+  let g = Depgraph.create () in
+  let a = l 0 0 and b = l 1 0 and c = l 2 0 in
+  Depgraph.add g a ~dep:Dep.null;
+  Depgraph.add g b ~dep:(Dep.after a);
+  (* c depends on both a and b, but a -> b makes the a edge redundant *)
+  Depgraph.add g c ~dep:(Dep.after_all [ a; b ]);
+  let r = Infer.transitive_reduction g in
+  check_int "redundant edge dropped" 2 (List.length (Depgraph.edges r));
+  check "semantics preserved" true (Infer.exact ~truth:g r)
+
+let test_infer_spec_rendering () =
+  let g, _, _, _, _ = fig2_graph () in
+  let spec = Infer.spec g in
+  check_int "four entries" 4 (List.length spec);
+  (* first entry in topological order is the root with no constraint *)
+  match spec with
+  | (first, dep) :: _ ->
+    check "root first" true (Label.name first = "mk");
+    check "root unconstrained" true (Dep.equal dep Dep.null)
+  | [] -> Alcotest.fail "empty spec"
+
+let () =
+  Alcotest.run "graph"
+    [
+      ( "label",
+        [
+          Alcotest.test_case "identity" `Quick test_label_identity;
+          Alcotest.test_case "names" `Quick test_label_names;
+          Alcotest.test_case "compare order" `Quick test_label_compare_order;
+          Alcotest.test_case "validation" `Quick test_label_validation;
+          Alcotest.test_case "set/map" `Quick test_label_set_map;
+        ] );
+      ( "dep",
+        [
+          Alcotest.test_case "normalisation" `Quick test_dep_normalisation;
+          Alcotest.test_case "satisfied" `Quick test_dep_satisfied;
+          Alcotest.test_case "ancestors" `Quick test_dep_ancestors;
+        ] );
+      ( "depgraph",
+        [
+          Alcotest.test_case "structure" `Quick test_graph_structure;
+          Alcotest.test_case "happens-before" `Quick test_graph_happens_before;
+          Alcotest.test_case "ancestors/descendants" `Quick
+            test_graph_ancestors_descendants;
+          Alcotest.test_case "duplicate/self" `Quick test_graph_duplicate_and_self;
+          Alcotest.test_case "topological" `Quick test_graph_topological;
+          Alcotest.test_case "linearizations" `Quick test_graph_linearizations;
+          Alcotest.test_case "factorial growth" `Quick
+            test_graph_linearizations_factorial;
+          Alcotest.test_case "sync points" `Quick test_graph_sync_points;
+          Alcotest.test_case "verify sequence" `Quick test_graph_verify_sequence;
+          Alcotest.test_case "restrict" `Quick test_graph_restrict;
+          Alcotest.test_case "unknown ancestor" `Quick test_graph_unknown_ancestor;
+          Alcotest.test_case "edges/dot" `Quick test_graph_edges_and_dot;
+          Alcotest.test_case "not found" `Quick test_graph_not_found;
+        ] );
+      ( "infer",
+        [
+          Alcotest.test_case "exact from all linearizations" `Quick
+            test_infer_exact_from_all_linearizations;
+          Alcotest.test_case "single observation" `Quick
+            test_infer_single_observation_is_chain;
+          Alcotest.test_case "monotone improvement" `Quick
+            test_infer_monotone_improvement;
+          Alcotest.test_case "partial observations" `Quick
+            test_infer_precedence_partial_observations;
+          Alcotest.test_case "conflicts = concurrent" `Quick
+            test_infer_conflicting_orders_means_concurrent;
+          Alcotest.test_case "duplicate rejected" `Quick
+            test_infer_duplicate_rejected;
+          Alcotest.test_case "transitive reduction" `Quick
+            test_transitive_reduction;
+          Alcotest.test_case "spec rendering" `Quick test_infer_spec_rendering;
+        ] );
+      ( "activity",
+        [
+          Alcotest.test_case "fan graph" `Quick test_activity_fan_graph;
+          Alcotest.test_case "commutative stable" `Quick
+            test_activity_transition_preserving_commutative;
+          Alcotest.test_case "non-commutative unstable" `Quick
+            test_activity_not_transition_preserving;
+          Alcotest.test_case "empty body" `Quick test_activity_empty_body;
+          Alcotest.test_case "no opening" `Quick test_activity_no_opening;
+        ] );
+    ]

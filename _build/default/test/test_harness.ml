@@ -1,0 +1,86 @@
+(* Tests for the experiment harness drivers: the quantitative claims in
+   EXPERIMENTS.md rest on these being correct and deterministic. *)
+
+module Drivers = Causalb_harness.Drivers
+module Stats = Causalb_util.Stats
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let small = { Drivers.ops = 60; spacing = 0.5; mix = Drivers.Random 0.9 }
+
+let test_causal_driver_sound () =
+  let r = Drivers.run_causal ~seed:5 ~replicas:4 small in
+  check "checks ok" true r.Drivers.checks_ok;
+  (* ops+1 submissions × 4 replicas deliveries *)
+  check_int "delivery samples" ((small.Drivers.ops + 1) * 4)
+    (Stats.count r.Drivers.delivery);
+  check "cycles closed" true (r.Drivers.cycles > 0);
+  check "positive makespan" true (r.Drivers.sim_time > 0.0)
+
+let test_merge_driver_sound () =
+  let r = Drivers.run_merge ~seed:5 ~replicas:4 small in
+  check "identical total orders" true r.Drivers.checks_ok;
+  check_int "all released everywhere" ((small.Drivers.ops + 1) * 4)
+    (Stats.count r.Drivers.delivery)
+
+let test_sequencer_driver_sound () =
+  let r = Drivers.run_sequencer ~seed:5 ~replicas:4 small in
+  check "identical orders" true r.Drivers.checks_ok;
+  check_int "all delivered" ((small.Drivers.ops + 1) * 4)
+    (Stats.count r.Drivers.delivery)
+
+let test_timestamp_driver_sound () =
+  let r = Drivers.run_timestamp ~seed:5 ~replicas:4 small in
+  check "identical orders" true r.Drivers.checks_ok;
+  check_int "all delivered" ((small.Drivers.ops + 1) * 4)
+    (Stats.count r.Drivers.delivery)
+
+let test_drivers_deterministic () =
+  let a = Drivers.run_causal ~seed:9 ~replicas:3 small in
+  let b = Drivers.run_causal ~seed:9 ~replicas:3 small in
+  check "same mean" true
+    (Stats.mean a.Drivers.delivery = Stats.mean b.Drivers.delivery);
+  check "same messages" true (a.Drivers.messages = b.Drivers.messages);
+  let c = Drivers.run_causal ~seed:10 ~replicas:3 small in
+  check "different seed differs" true
+    (Stats.mean a.Drivers.delivery <> Stats.mean c.Drivers.delivery)
+
+let test_headline_ordering_holds () =
+  (* the T1 headline on a small instance: causal < both total orders *)
+  let causal = Drivers.run_causal ~seed:11 ~replicas:5 small in
+  let seq = Drivers.run_sequencer ~seed:11 ~replicas:5 small in
+  let merge = Drivers.run_merge ~seed:11 ~replicas:5 small in
+  let m r = Stats.mean r.Drivers.delivery in
+  check "causal < sequencer" true (m causal < m seq);
+  check "causal < merge" true (m causal < m merge)
+
+let test_fixed_window_cycles () =
+  (* Fixed_window k: ops/(k+1) syncs (+ the appended closer) *)
+  let w = { Drivers.ops = 60; spacing = 0.5; mix = Drivers.Fixed_window 5 } in
+  let r = Drivers.run_causal ~seed:13 ~replicas:3 w in
+  check "checks ok" true r.Drivers.checks_ok;
+  check_int "cycles = 60/6 + closer" 11 r.Drivers.cycles
+
+let test_fixed_window_zero_is_all_sync () =
+  let w = { Drivers.ops = 20; spacing = 0.5; mix = Drivers.Fixed_window 0 } in
+  let r = Drivers.run_causal ~seed:15 ~replicas:3 w in
+  check_int "every op a stable point" 21 r.Drivers.cycles
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "drivers",
+        [
+          Alcotest.test_case "causal sound" `Quick test_causal_driver_sound;
+          Alcotest.test_case "merge sound" `Quick test_merge_driver_sound;
+          Alcotest.test_case "sequencer sound" `Quick test_sequencer_driver_sound;
+          Alcotest.test_case "timestamp sound" `Quick test_timestamp_driver_sound;
+          Alcotest.test_case "deterministic" `Quick test_drivers_deterministic;
+          Alcotest.test_case "headline ordering" `Quick
+            test_headline_ordering_holds;
+          Alcotest.test_case "fixed window cycles" `Quick test_fixed_window_cycles;
+          Alcotest.test_case "fixed window 0" `Quick
+            test_fixed_window_zero_is_all_sync;
+        ] );
+    ]

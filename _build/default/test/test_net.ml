@@ -1,0 +1,238 @@
+(* Unit tests for the simulated network: delivery, FIFO links, faults,
+   partitions, accounting. *)
+
+module Engine = Causalb_sim.Engine
+module Latency = Causalb_sim.Latency
+module Net = Causalb_net.Net
+module Fault = Causalb_net.Fault
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let make ?(nodes = 3) ?latency ?fifo ?fault () =
+  let e = Engine.create () in
+  let net = Net.create e ~nodes ?latency ?fifo ?fault () in
+  (e, net)
+
+let collect net node =
+  let log = ref [] in
+  Net.set_handler net node (fun ~src payload -> log := (src, payload) :: !log);
+  fun () -> List.rev !log
+
+let test_unicast () =
+  let e, net = make () in
+  let got = collect net 1 in
+  Net.send net ~src:0 ~dst:1 "hello";
+  Engine.run e;
+  Alcotest.(check (list (pair int string))) "received" [ (0, "hello") ] (got ());
+  check_int "sent" 1 (Net.messages_sent net);
+  check_int "delivered" 1 (Net.messages_delivered net)
+
+let test_unicast_latency_positive () =
+  let e, net = make ~latency:(Latency.constant 2.5) () in
+  let when_ = ref 0.0 in
+  Net.set_handler net 1 (fun ~src:_ _ -> when_ := Engine.now e);
+  Net.send net ~src:0 ~dst:1 ();
+  Engine.run e;
+  Alcotest.(check (float 1e-9)) "constant delay" 2.5 !when_
+
+let test_broadcast_all () =
+  let e, net = make ~nodes:4 () in
+  let got = Array.init 4 (fun i -> collect net i) in
+  Net.broadcast net ~src:2 "b";
+  Engine.run e;
+  Array.iteri
+    (fun i g ->
+      check (Printf.sprintf "node %d got it" i) true (g () = [ (2, "b") ]))
+    got
+
+let test_broadcast_no_self () =
+  let e, net = make ~nodes:3 () in
+  let got = collect net 0 in
+  Net.broadcast net ~src:0 ~self:false "b";
+  Engine.run e;
+  check "sender skipped" true (got () = [])
+
+let test_broadcast_self_immediate () =
+  let e, net = make ~nodes:3 () in
+  let self_time = ref (-1.0) in
+  Net.set_handler net 0 (fun ~src:_ _ -> self_time := Engine.now e);
+  Net.broadcast net ~src:0 "b";
+  Engine.run e;
+  Alcotest.(check (float 1e-9)) "self copy at now" 0.0 !self_time
+
+let test_no_handler_counts_dropped () =
+  let e, net = make () in
+  Net.send net ~src:0 ~dst:1 "x";
+  Engine.run e;
+  check_int "dropped" 1 (Net.messages_dropped net);
+  check_int "not delivered" 0 (Net.messages_delivered net)
+
+let test_fifo_link_order () =
+  (* High-variance latency would reorder; FIFO mode must prevent it on a
+     single link. *)
+  let e, net =
+    make ~latency:(Latency.lognormal ~mu:1.0 ~sigma:2.0 ()) ~fifo:true ()
+  in
+  let got = collect net 1 in
+  for i = 0 to 49 do
+    Net.send net ~src:0 ~dst:1 i
+  done;
+  Engine.run e;
+  let payloads = List.map snd (got ()) in
+  check "in order" true (payloads = List.init 50 Fun.id)
+
+let test_non_fifo_can_reorder () =
+  let e, net =
+    make ~latency:(Latency.lognormal ~mu:1.0 ~sigma:2.0 ()) ~fifo:false ()
+  in
+  let got = collect net 1 in
+  for i = 0 to 49 do
+    Net.send net ~src:0 ~dst:1 i
+  done;
+  Engine.run e;
+  let payloads = List.map snd (got ()) in
+  check_int "all arrive" 50 (List.length payloads);
+  check "reordered" true (payloads <> List.init 50 Fun.id)
+
+let test_drop_fault () =
+  let e, net = make ~fault:(Fault.make ~drop_prob:1.0 ()) () in
+  let got = collect net 1 in
+  for _ = 1 to 10 do
+    Net.send net ~src:0 ~dst:1 ()
+  done;
+  Engine.run e;
+  check "all lost" true (got () = []);
+  check_int "dropped" 10 (Net.messages_dropped net)
+
+let test_dup_fault () =
+  let e, net = make ~fault:(Fault.make ~dup_prob:1.0 ()) () in
+  let got = collect net 1 in
+  Net.send net ~src:0 ~dst:1 ();
+  Engine.run e;
+  check_int "duplicated" 2 (List.length (got ()))
+
+let test_partial_drop_statistics () =
+  let e, net = make ~fault:(Fault.make ~drop_prob:0.5 ()) () in
+  let got = collect net 1 in
+  for _ = 1 to 1000 do
+    Net.send net ~src:0 ~dst:1 ()
+  done;
+  Engine.run e;
+  let n = List.length (got ()) in
+  check "roughly half" true (n > 400 && n < 600)
+
+let test_partition_and_heal () =
+  let e, net = make ~nodes:4 () in
+  let got3 = collect net 3 in
+  let got1 = collect net 1 in
+  Net.partition net [ [ 0; 1 ]; [ 2; 3 ] ];
+  Net.send net ~src:0 ~dst:3 "blocked";
+  Net.send net ~src:0 ~dst:1 "ok";
+  Engine.run e;
+  check "cross-cell dropped" true (got3 () = []);
+  check "same-cell delivered" true (got1 () = [ (0, "ok") ]);
+  Net.heal net;
+  Net.send net ~src:0 ~dst:3 "after-heal";
+  Engine.run e;
+  check "healed" true (got3 () = [ (0, "after-heal") ])
+
+let test_partition_unlisted_singleton () =
+  let e, net = make ~nodes:3 () in
+  let got2 = collect net 2 in
+  Net.partition net [ [ 0; 1 ] ];
+  Net.send net ~src:0 ~dst:2 "x";
+  Engine.run e;
+  check "singleton isolated" true (got2 () = [])
+
+let test_bytes_accounting () =
+  let e, net = make () in
+  Net.set_handler net 1 (fun ~src:_ _ -> ());
+  Net.send net ~src:0 ~dst:1 ~size:100 ();
+  Net.send net ~src:0 ~dst:1 ~size:20 ();
+  Engine.run e;
+  check_int "bytes" 120 (Net.bytes_sent net)
+
+let test_jitter_delays () =
+  let e, net =
+    make ~latency:(Latency.constant 1.0)
+      ~fault:(Fault.make ~jitter:5.0 ())
+      ~fifo:false ()
+  in
+  let times = ref [] in
+  Net.set_handler net 1 (fun ~src:_ _ -> times := Engine.now e :: !times);
+  for _ = 1 to 100 do
+    Net.send net ~src:0 ~dst:1 ()
+  done;
+  Engine.run e;
+  check "some jitter beyond base" true (List.exists (fun t -> t > 1.5) !times);
+  check "all >= base" true (List.for_all (fun t -> t >= 1.0) !times)
+
+let test_invalid_args () =
+  let e = Engine.create () in
+  check "nodes <= 0" true
+    (try
+       ignore (Net.create e ~nodes:0 () : unit Net.t);
+       false
+     with Invalid_argument _ -> true);
+  let net : unit Net.t = Net.create e ~nodes:2 () in
+  check "bad dst" true
+    (try
+       Net.send net ~src:0 ~dst:5 ();
+       false
+     with Invalid_argument _ -> true)
+
+let test_determinism_same_seed () =
+  let run () =
+    let e = Engine.create ~seed:7 () in
+    let net = Net.create e ~nodes:3 ~latency:Latency.lan ~fifo:false () in
+    let log = ref [] in
+    for node = 0 to 2 do
+      Net.set_handler net node (fun ~src payload ->
+          log := (node, src, payload, Engine.now e) :: !log)
+    done;
+    for i = 0 to 20 do
+      Net.broadcast net ~src:(i mod 3) i
+    done;
+    Engine.run e;
+    !log
+  in
+  check "identical delivery schedule" true (run () = run ())
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "delivery",
+        [
+          Alcotest.test_case "unicast" `Quick test_unicast;
+          Alcotest.test_case "unicast latency" `Quick test_unicast_latency_positive;
+          Alcotest.test_case "broadcast all" `Quick test_broadcast_all;
+          Alcotest.test_case "broadcast no self" `Quick test_broadcast_no_self;
+          Alcotest.test_case "self immediate" `Quick test_broadcast_self_immediate;
+          Alcotest.test_case "no handler" `Quick test_no_handler_counts_dropped;
+        ] );
+      ( "ordering",
+        [
+          Alcotest.test_case "fifo link" `Quick test_fifo_link_order;
+          Alcotest.test_case "non-fifo reorders" `Quick test_non_fifo_can_reorder;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "drop all" `Quick test_drop_fault;
+          Alcotest.test_case "duplicate" `Quick test_dup_fault;
+          Alcotest.test_case "partial drop" `Quick test_partial_drop_statistics;
+          Alcotest.test_case "jitter" `Quick test_jitter_delays;
+        ] );
+      ( "partitions",
+        [
+          Alcotest.test_case "partition/heal" `Quick test_partition_and_heal;
+          Alcotest.test_case "unlisted singleton" `Quick
+            test_partition_unlisted_singleton;
+        ] );
+      ( "misc",
+        [
+          Alcotest.test_case "bytes" `Quick test_bytes_accounting;
+          Alcotest.test_case "invalid args" `Quick test_invalid_args;
+          Alcotest.test_case "determinism" `Quick test_determinism_same_seed;
+        ] );
+    ]

@@ -1,0 +1,356 @@
+(* Unit tests for the utility substrate: heap, rng, stats, table. *)
+
+module Heap = Causalb_util.Heap
+module Rng = Causalb_util.Rng
+module Stats = Causalb_util.Stats
+module Table = Causalb_util.Table
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* --- Heap --- *)
+
+let test_heap_empty () =
+  let h = Heap.create ~cmp:Int.compare () in
+  check "empty" true (Heap.is_empty h);
+  check_int "length" 0 (Heap.length h);
+  check "peek none" true (Heap.peek h = None);
+  check "pop none" true (Heap.pop h = None)
+
+let test_heap_ordering () =
+  let h = Heap.create ~cmp:Int.compare () in
+  List.iter (Heap.push h) [ 5; 3; 8; 1; 9; 2; 7 ];
+  Alcotest.(check (list int)) "ascending" [ 1; 2; 3; 5; 7; 8; 9 ] (Heap.drain h);
+  check "drained" true (Heap.is_empty h)
+
+let test_heap_duplicates () =
+  let h = Heap.create ~cmp:Int.compare () in
+  List.iter (Heap.push h) [ 2; 2; 1; 2; 1 ];
+  Alcotest.(check (list int)) "dups kept" [ 1; 1; 2; 2; 2 ] (Heap.drain h)
+
+let test_heap_pop_exn () =
+  let h = Heap.create ~cmp:Int.compare () in
+  Alcotest.check_raises "pop_exn empty"
+    (Invalid_argument "Heap.pop_exn: empty heap") (fun () ->
+      ignore (Heap.pop_exn h));
+  Heap.push h 42;
+  check_int "pop_exn" 42 (Heap.pop_exn h)
+
+let test_heap_interleaved () =
+  let h = Heap.create ~cmp:Int.compare () in
+  Heap.push h 3;
+  Heap.push h 1;
+  check_int "min first" 1 (Heap.pop_exn h);
+  Heap.push h 0;
+  Heap.push h 2;
+  check_int "new min" 0 (Heap.pop_exn h);
+  check_int "then 2" 2 (Heap.pop_exn h);
+  check_int "then 3" 3 (Heap.pop_exn h)
+
+let test_heap_custom_cmp () =
+  let h = Heap.create ~cmp:(fun a b -> Int.compare b a) () in
+  List.iter (Heap.push h) [ 1; 5; 3 ];
+  Alcotest.(check (list int)) "max-heap" [ 5; 3; 1 ] (Heap.drain h)
+
+let test_heap_clear_and_to_list () =
+  let h = Heap.create ~cmp:Int.compare () in
+  List.iter (Heap.push h) [ 4; 2; 6 ];
+  check_int "to_list size" 3 (List.length (Heap.to_list h));
+  check_int "unchanged" 3 (Heap.length h);
+  Heap.clear h;
+  check "cleared" true (Heap.is_empty h)
+
+let test_heap_large () =
+  let h = Heap.create ~cmp:Int.compare () in
+  let rng = Rng.create 7 in
+  let values = List.init 10_000 (fun _ -> Rng.int rng 1_000_000) in
+  List.iter (Heap.push h) values;
+  let out = Heap.drain h in
+  check "sorted output" true (out = List.sort Int.compare values)
+
+(* --- Rng --- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 123 and b = Rng.create 123 in
+  let sa = List.init 100 (fun _ -> Rng.int64 a) in
+  let sb = List.init 100 (fun _ -> Rng.int64 b) in
+  check "same seed same stream" true (sa = sb)
+
+let test_rng_seeds_differ () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let sa = List.init 10 (fun _ -> Rng.int64 a) in
+  let sb = List.init 10 (fun _ -> Rng.int64 b) in
+  check "different seeds differ" true (sa <> sb)
+
+let test_rng_split_independent () =
+  let a = Rng.create 9 in
+  let b = Rng.split a in
+  let sa = List.init 50 (fun _ -> Rng.int64 a) in
+  let sb = List.init 50 (fun _ -> Rng.int64 b) in
+  check "split streams differ" true (sa <> sb)
+
+let test_rng_split_deterministic () =
+  let mk () =
+    let a = Rng.create 11 in
+    let b = Rng.split a in
+    (List.init 20 (fun _ -> Rng.int64 a), List.init 20 (fun _ -> Rng.int64 b))
+  in
+  check "reproducible split" true (mk () = mk ())
+
+let test_rng_copy () =
+  let a = Rng.create 5 in
+  ignore (Rng.int64 a);
+  let b = Rng.copy a in
+  check "copy replays" true
+    (List.init 10 (fun _ -> Rng.int64 a) = List.init 10 (fun _ -> Rng.int64 b))
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 17 in
+    check "in range" true (v >= 0 && v < 17)
+  done;
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_rng_float_bounds () =
+  let rng = Rng.create 4 in
+  for _ = 1 to 1000 do
+    let v = Rng.float rng 2.5 in
+    check "in range" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_rng_bernoulli_extremes () =
+  let rng = Rng.create 6 in
+  for _ = 1 to 100 do
+    check "p=0 never" false (Rng.bernoulli rng 0.0);
+    check "p=1 always" true (Rng.bernoulli rng 1.0)
+  done
+
+let test_rng_exponential_mean () =
+  let rng = Rng.create 8 in
+  let n = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    let v = Rng.exponential rng ~mean:5.0 in
+    check "positive" true (v >= 0.0);
+    sum := !sum +. v
+  done;
+  let mean = !sum /. float_of_int n in
+  check "mean close to 5" true (abs_float (mean -. 5.0) < 0.3)
+
+let test_rng_gaussian_moments () =
+  let rng = Rng.create 10 in
+  let n = 20_000 in
+  let sum = ref 0.0 and sumsq = ref 0.0 in
+  for _ = 1 to n do
+    let v = Rng.gaussian rng ~mu:3.0 ~sigma:2.0 in
+    sum := !sum +. v;
+    sumsq := !sumsq +. (v *. v)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sumsq /. float_of_int n) -. (mean *. mean) in
+  check "mean ~3" true (abs_float (mean -. 3.0) < 0.1);
+  check "var ~4" true (abs_float (var -. 4.0) < 0.3)
+
+let test_rng_pareto_scale () =
+  let rng = Rng.create 12 in
+  for _ = 1 to 1000 do
+    check "above scale" true (Rng.pareto rng ~scale:1.5 ~shape:2.0 >= 1.5)
+  done
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 13 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort Int.compare sorted;
+  check "is permutation" true (sorted = Array.init 50 Fun.id)
+
+let test_rng_pick () =
+  let rng = Rng.create 14 in
+  let a = [| 10; 20; 30 |] in
+  for _ = 1 to 100 do
+    check "member" true (Array.mem (Rng.pick rng a) a)
+  done;
+  Alcotest.check_raises "empty" (Invalid_argument "Rng.pick: empty array")
+    (fun () -> ignore (Rng.pick rng [||]))
+
+(* --- Stats --- *)
+
+let test_stats_empty () =
+  let s = Stats.create () in
+  check_int "count" 0 (Stats.count s);
+  check "mean nan" true (Float.is_nan (Stats.mean s));
+  check "percentile nan" true (Float.is_nan (Stats.percentile s 50.0))
+
+let test_stats_single () =
+  let s = Stats.create () in
+  Stats.add s 7.0;
+  check_float "mean" 7.0 (Stats.mean s);
+  check_float "min" 7.0 (Stats.min_value s);
+  check_float "max" 7.0 (Stats.max_value s);
+  check_float "median" 7.0 (Stats.median s);
+  check_float "variance" 0.0 (Stats.variance s)
+
+let test_stats_mean_variance () =
+  let s = Stats.create () in
+  Stats.add_list s [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  check_float "mean" 5.0 (Stats.mean s);
+  (* population variance is 4; sample variance = 32/7 *)
+  check_float "variance" (32.0 /. 7.0) (Stats.variance s);
+  check_float "total" 40.0 (Stats.total s)
+
+let test_stats_percentiles () =
+  let s = Stats.create () in
+  Stats.add_list s (List.init 101 float_of_int);
+  check_float "p0" 0.0 (Stats.percentile s 0.0);
+  check_float "p50" 50.0 (Stats.percentile s 50.0);
+  check_float "p99" 99.0 (Stats.percentile s 99.0);
+  check_float "p100" 100.0 (Stats.percentile s 100.0);
+  check_float "p25" 25.0 (Stats.percentile s 25.0)
+
+let test_stats_percentile_interpolation () =
+  let s = Stats.create () in
+  Stats.add_list s [ 10.0; 20.0 ];
+  check_float "p50 interpolated" 15.0 (Stats.percentile s 50.0);
+  check_float "p75" 17.5 (Stats.percentile s 75.0)
+
+let test_stats_merge () =
+  let a = Stats.create () and b = Stats.create () in
+  Stats.add_list a [ 1.0; 2.0 ];
+  Stats.add_list b [ 3.0; 4.0 ];
+  let m = Stats.merge a b in
+  check_int "count" 4 (Stats.count m);
+  check_float "mean" 2.5 (Stats.mean m)
+
+let test_stats_unsorted_input () =
+  let s = Stats.create () in
+  Stats.add_list s [ 9.0; 1.0; 5.0 ];
+  check_float "median of unsorted" 5.0 (Stats.median s);
+  Stats.add s 0.0;
+  (* cache must invalidate on add *)
+  check_float "median updates" 3.0 (Stats.median s)
+
+let test_histogram () =
+  let h = Stats.Histogram.create ~bins:4 ~lo:0.0 ~hi:4.0 () in
+  List.iter (Stats.Histogram.add h) [ 0.5; 1.5; 1.6; 3.9; -1.0; 99.0 ];
+  Alcotest.(check (array int)) "counts" [| 2; 2; 0; 2 |] (Stats.Histogram.counts h);
+  check "render nonempty" true (String.length (Stats.Histogram.render h) > 0)
+
+let test_histogram_validation () =
+  Alcotest.check_raises "bins 0"
+    (Invalid_argument "Histogram.create: bins must be positive") (fun () ->
+      ignore (Stats.Histogram.create ~bins:0 ~lo:0.0 ~hi:1.0 ()));
+  Alcotest.check_raises "lo >= hi"
+    (Invalid_argument "Histogram.create: need lo < hi") (fun () ->
+      ignore (Stats.Histogram.create ~lo:1.0 ~hi:1.0 ()))
+
+(* --- Table --- *)
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec scan i = i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1)) in
+  scan 0
+
+let test_table_render () =
+  let t = Table.create ~title:"demo" ~columns:[ "a"; "b" ] in
+  Table.add_row t [ "1"; "hello" ];
+  Table.add_row t [ "22"; "x" ];
+  let s = Table.render t in
+  check "has title" true (String.length s > 0 && String.sub s 0 7 = "== demo");
+  check "contains hello" true (contains s "hello")
+
+let test_table_arity () =
+  let t = Table.create ~title:"t" ~columns:[ "a"; "b" ] in
+  Alcotest.check_raises "arity"
+    (Invalid_argument "Table.add_row: expected 2 cells, got 1") (fun () ->
+      Table.add_row t [ "only" ])
+
+let test_table_rowf () =
+  let t = Table.create ~title:"t" ~columns:[ "x"; "y"; "z" ] in
+  Table.add_rowf t "%d\t%.1f\t%s" 3 2.5 "ok";
+  check "csv" true (Table.to_csv t = "x,y,z\n3,2.5,ok")
+
+let test_table_csv_escaping () =
+  let t = Table.create ~title:"t" ~columns:[ "v" ] in
+  Table.add_row t [ "a,b" ];
+  Table.add_row t [ "say \"hi\"" ];
+  check "escaped" true
+    (Table.to_csv t = "v\n\"a,b\"\n\"say \"\"hi\"\"\"")
+
+let test_stats_summary () =
+  let s = Stats.create () in
+  check "empty summary" true (Stats.summary s = "n=0");
+  Stats.add_list s [ 1.0; 2.0; 3.0 ];
+  check "summary mentions count" true (contains (Stats.summary s) "n=3");
+  check "summary mentions mean" true (contains (Stats.summary s) "mean=2.000")
+
+let test_stats_samples_copy () =
+  let s = Stats.create () in
+  Stats.add_list s [ 5.0; 1.0 ];
+  let a = Stats.samples s in
+  check "insertion order" true (a = [| 5.0; 1.0 |]);
+  a.(0) <- 99.0;
+  check "copy, not alias" true (Stats.samples s = [| 5.0; 1.0 |])
+
+let test_table_formatters () =
+  check "float" true (Table.fmt_float ~digits:2 1.2345 = "1.23");
+  check "float nan" true (Table.fmt_float Float.nan = "-");
+  check "pct" true (Table.fmt_pct 0.256 = "25.6%");
+  check "int" true (Table.fmt_int 42 = "42")
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "heap",
+        [
+          Alcotest.test_case "empty" `Quick test_heap_empty;
+          Alcotest.test_case "ordering" `Quick test_heap_ordering;
+          Alcotest.test_case "duplicates" `Quick test_heap_duplicates;
+          Alcotest.test_case "pop_exn" `Quick test_heap_pop_exn;
+          Alcotest.test_case "interleaved" `Quick test_heap_interleaved;
+          Alcotest.test_case "custom cmp" `Quick test_heap_custom_cmp;
+          Alcotest.test_case "clear/to_list" `Quick test_heap_clear_and_to_list;
+          Alcotest.test_case "large random" `Quick test_heap_large;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_rng_seeds_differ;
+          Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+          Alcotest.test_case "split deterministic" `Quick test_rng_split_deterministic;
+          Alcotest.test_case "copy" `Quick test_rng_copy;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+          Alcotest.test_case "bernoulli extremes" `Quick test_rng_bernoulli_extremes;
+          Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+          Alcotest.test_case "gaussian moments" `Quick test_rng_gaussian_moments;
+          Alcotest.test_case "pareto scale" `Quick test_rng_pareto_scale;
+          Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "pick" `Quick test_rng_pick;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "empty" `Quick test_stats_empty;
+          Alcotest.test_case "single" `Quick test_stats_single;
+          Alcotest.test_case "mean/variance" `Quick test_stats_mean_variance;
+          Alcotest.test_case "percentiles" `Quick test_stats_percentiles;
+          Alcotest.test_case "interpolation" `Quick test_stats_percentile_interpolation;
+          Alcotest.test_case "merge" `Quick test_stats_merge;
+          Alcotest.test_case "unsorted input" `Quick test_stats_unsorted_input;
+          Alcotest.test_case "summary" `Quick test_stats_summary;
+          Alcotest.test_case "samples copy" `Quick test_stats_samples_copy;
+          Alcotest.test_case "histogram" `Quick test_histogram;
+          Alcotest.test_case "histogram validation" `Quick test_histogram_validation;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "arity" `Quick test_table_arity;
+          Alcotest.test_case "rowf" `Quick test_table_rowf;
+          Alcotest.test_case "csv escaping" `Quick test_table_csv_escaping;
+          Alcotest.test_case "formatters" `Quick test_table_formatters;
+        ] );
+    ]

@@ -1,0 +1,395 @@
+(* Tests for dynamic membership and virtually synchronous view changes. *)
+
+module Engine = Causalb_sim.Engine
+module Latency = Causalb_sim.Latency
+module Net = Causalb_net.Net
+module Label = Causalb_graph.Label
+module Message = Causalb_core.Message
+module Vgroup = Causalb_core.Vgroup
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let jittery = Latency.lognormal ~mu:0.5 ~sigma:1.0 ()
+
+(* Each node's application state: the list of payloads applied, used both
+   as the transferred state and to verify delivery. *)
+type app = { mutable log : string list }
+
+let make ?(nodes = 5) ?(initial = [ 0; 1; 2 ]) ?seed () =
+  let e = Engine.create ?seed () in
+  let net = Net.create e ~nodes ~latency:jittery ~fifo:false () in
+  let apps = Array.init nodes (fun _ -> { log = [] }) in
+  let g =
+    Vgroup.create net ~initial
+      ~on_deliver:(fun ~node ~vid:_ ~time:_ msg ->
+        apps.(node).log <- Message.payload msg :: apps.(node).log)
+      ~get_state:(fun ~node -> apps.(node).log)
+      ~set_state:(fun ~node s -> apps.(node).log <- s)
+      ()
+  in
+  (e, g, apps)
+
+let log apps node = List.rev apps.(node).log
+
+let test_initial_view () =
+  let _, g, _ = make () in
+  List.iter
+    (fun n ->
+      match Vgroup.view_of g n with
+      | Some v ->
+        check_int "vid 0" 0 v.Vgroup.vid;
+        check "members" true (v.Vgroup.members = [ 0; 1; 2 ])
+      | None -> Alcotest.fail "missing initial view")
+    [ 0; 1; 2 ];
+  check "outsider has no view" true (Vgroup.view_of g 3 = None);
+  check "member" true (Vgroup.is_member g 0);
+  check "not member" false (Vgroup.is_member g 4)
+
+let test_static_broadcast () =
+  let e, g, apps = make () in
+  Vgroup.bcast g ~src:0 "a";
+  Vgroup.bcast g ~src:1 "b";
+  Engine.run e;
+  List.iter
+    (fun n ->
+      check_int (Printf.sprintf "node %d got both" n) 2
+        (List.length (log apps n)))
+    [ 0; 1; 2 ];
+  check "outsider got nothing" true (log apps 3 = [])
+
+let test_sender_fifo_within_view () =
+  let e, g, apps = make ~seed:3 () in
+  for i = 0 to 19 do
+    Vgroup.bcast g ~src:0 (string_of_int i)
+  done;
+  Engine.run e;
+  List.iter
+    (fun n ->
+      Alcotest.(check (list string))
+        "fifo order"
+        (List.init 20 string_of_int)
+        (log apps n))
+    [ 0; 1; 2 ]
+
+let test_join_installs_view_and_state () =
+  let e, g, apps = make ~seed:5 () in
+  Vgroup.bcast g ~src:0 "before";
+  Engine.run e;
+  Vgroup.join g ~node:3;
+  Engine.run e;
+  (match Vgroup.view_of g 3 with
+  | Some v ->
+    check_int "vid 1" 1 v.Vgroup.vid;
+    check "joiner in members" true (List.mem 3 v.Vgroup.members)
+  | None -> Alcotest.fail "joiner has no view");
+  (* state transfer delivered the pre-join history *)
+  check "joiner has history" true (List.mem "before" (log apps 3));
+  (* messages after the join reach the joiner *)
+  Vgroup.bcast g ~src:1 "after";
+  Engine.run e;
+  check "joiner receives new traffic" true (List.mem "after" (log apps 3));
+  check "views agree" true (Vgroup.check_views_agree g);
+  check "virtual synchrony" true (Vgroup.check_virtual_synchrony g)
+
+let test_joiner_can_send () =
+  let e, g, apps = make ~seed:7 () in
+  Vgroup.join g ~node:4;
+  Engine.run e;
+  Vgroup.bcast g ~src:4 "from-joiner";
+  Engine.run e;
+  List.iter
+    (fun n ->
+      check (Printf.sprintf "node %d hears joiner" n) true
+        (List.mem "from-joiner" (log apps n)))
+    [ 0; 1; 2; 4 ]
+
+let test_leave () =
+  let e, g, apps = make ~seed:9 () in
+  Vgroup.leave g ~node:2;
+  Engine.run e;
+  (match Vgroup.view_of g 0 with
+  | Some v ->
+    check_int "vid 1" 1 v.Vgroup.vid;
+    check "2 gone" false (List.mem 2 v.Vgroup.members)
+  | None -> Alcotest.fail "no view");
+  check "leaver no longer member" false (Vgroup.is_member g 2);
+  let before_len = List.length (log apps 2) in
+  Vgroup.bcast g ~src:0 "post-leave";
+  Engine.run e;
+  check "leaver stops receiving" true (List.length (log apps 2) = before_len);
+  check "others receive" true (List.mem "post-leave" (log apps 0));
+  check "leaver cannot send" true
+    (try
+       Vgroup.bcast g ~src:2 "zombie";
+       false
+     with Invalid_argument _ -> true)
+
+let test_virtual_synchrony_under_traffic () =
+  (* Heavy concurrent traffic racing a view change: all survivors must
+     agree per-view on the delivered sets. *)
+  let e, g, apps = make ~nodes:6 ~initial:[ 0; 1; 2; 3 ] ~seed:11 () in
+  for i = 0 to 29 do
+    Engine.schedule_at e ~time:(float_of_int i *. 0.4) (fun () ->
+        if Vgroup.is_member g (i mod 4) then
+          Vgroup.bcast g ~src:(i mod 4) (Printf.sprintf "m%d" i))
+  done;
+  Engine.schedule_at e ~time:5.0 (fun () -> Vgroup.join g ~node:4);
+  Engine.schedule_at e ~time:9.0 (fun () -> Vgroup.leave g ~node:3);
+  Engine.run e;
+  check "views agree" true (Vgroup.check_views_agree g);
+  check "virtual synchrony" true (Vgroup.check_virtual_synchrony g);
+  (* survivors end with identical logs *)
+  let l0 = List.sort compare (log apps 0) in
+  List.iter
+    (fun n ->
+      check
+        (Printf.sprintf "node %d same set as node 0" n)
+        true
+        (List.sort compare (log apps n) = l0))
+    [ 1; 2 ]
+
+let test_queued_sends_drain_into_new_view () =
+  let e, g, apps = make ~seed:13 () in
+  (* start a view change, then send while it is in flight *)
+  Vgroup.join g ~node:3;
+  (* the coordinator announced synchronously; node 0 may already be
+     flushing.  Send from node 1 as soon as it is mid-change. *)
+  Engine.schedule_at e ~time:0.1 (fun () -> Vgroup.bcast g ~src:1 "racing");
+  Engine.run e;
+  List.iter
+    (fun n ->
+      check (Printf.sprintf "node %d sees racing msg" n) true
+        (List.mem "racing" (log apps n)))
+    [ 0; 1; 2 ];
+  check "vs holds" true (Vgroup.check_virtual_synchrony g)
+
+let test_sequential_changes () =
+  let e, g, _ = make ~nodes:6 ~initial:[ 0 ] ~seed:15 () in
+  Vgroup.join g ~node:1;
+  Vgroup.join g ~node:2;
+  Vgroup.join g ~node:3;
+  Engine.run e;
+  (match Vgroup.view_of g 0 with
+  | Some v ->
+    check_int "three changes" 3 v.Vgroup.vid;
+    check "all in" true (v.Vgroup.members = [ 0; 1; 2; 3 ])
+  | None -> Alcotest.fail "no view");
+  check "views agree" true (Vgroup.check_views_agree g);
+  check_int "node3 saw one view" 1 (List.length (Vgroup.views_seen g 3));
+  check_int "node0 saw four views" 4 (List.length (Vgroup.views_seen g 0))
+
+let test_coordinator_leaves () =
+  (* node 0 is coordinator; after it leaves, node 1 takes over and can
+     process further changes *)
+  let e, g, _ = make ~seed:17 () in
+  Vgroup.leave g ~node:0;
+  Engine.run e;
+  check "0 out" false (Vgroup.is_member g 0);
+  Vgroup.join g ~node:4;
+  Engine.run e;
+  (match Vgroup.view_of g 1 with
+  | Some v ->
+    check "4 joined under new coordinator" true (List.mem 4 v.Vgroup.members)
+  | None -> Alcotest.fail "no view");
+  check "views agree" true (Vgroup.check_views_agree g)
+
+(* --- explicit-dependency sends within a view --- *)
+
+let test_send_with_explicit_deps () =
+  let e, g, apps = make ~seed:41 () in
+  let a = Vgroup.send g ~src:0 "a" in
+  let b = Vgroup.send g ~src:1 "b" in
+  let ab =
+    match (a, b) with
+    | Some a, Some b -> [ a; b ]
+    | _ -> Alcotest.fail "sends should not be queued"
+  in
+  (* c joins both: a synchronization point inside the view *)
+  let c = Vgroup.send g ~src:2 ~after:ab "c" in
+  check "c sent now" true (c <> None);
+  Engine.run e;
+  List.iter
+    (fun n ->
+      let log = log apps n in
+      check "c last" true (List.nth log (List.length log - 1) = "c"))
+    [ 0; 1; 2 ];
+  check "vs holds" true (Vgroup.check_virtual_synchrony g)
+
+let test_send_queued_during_change () =
+  let e, g, _ = make ~seed:43 () in
+  Vgroup.join g ~node:3;
+  (* node 0 announced synchronously; it is now changing *)
+  check "changing" true (Vgroup.is_changing g 0);
+  check "send queued" true (Vgroup.send g ~src:0 "racer" = None);
+  Engine.run e;
+  check "vs holds" true (Vgroup.check_virtual_synchrony g)
+
+(* --- crash-stop failures --- *)
+
+let test_crash_excluded_and_survivors_agree () =
+  let e, g, apps = make ~seed:21 () in
+  Vgroup.bcast g ~src:2 "pre-crash";
+  Engine.schedule_at e ~time:5.0 (fun () ->
+      Vgroup.crash g ~node:2;
+      Vgroup.report_failure g ~node:2);
+  Engine.schedule_at e ~time:30.0 (fun () -> Vgroup.bcast g ~src:0 "after");
+  Engine.run e;
+  check "2 crashed" true (Vgroup.is_crashed g 2);
+  check "2 excluded" false (Vgroup.is_member g 2);
+  (match Vgroup.view_of g 0 with
+  | Some v -> check "membership shrank" true (v.Vgroup.members = [ 0; 1 ])
+  | None -> Alcotest.fail "no view");
+  check "views agree" true (Vgroup.check_views_agree g);
+  check "virtual synchrony" true (Vgroup.check_virtual_synchrony g);
+  (* survivors have identical logs including the crashed sender's traffic *)
+  check "survivors identical" true
+    (List.sort compare (log apps 0) = List.sort compare (log apps 1));
+  check "post-crash traffic flows" true (List.mem "after" (log apps 0))
+
+let test_crashed_sender_in_flight_messages_stabilised () =
+  (* The crashed member sends, then crashes immediately; copies are in
+     flight.  Whatever any survivor received before flushing must end up
+     at every survivor. *)
+  let e, g, apps = make ~seed:23 () in
+  Engine.schedule_at e ~time:1.0 (fun () ->
+      Vgroup.bcast g ~src:2 "last-words";
+      (* crash shortly after: some copies likely in flight *)
+      Engine.schedule e ~delay:0.2 (fun () ->
+          Vgroup.crash g ~node:2;
+          Vgroup.report_failure g ~node:2));
+  Engine.run e;
+  check "views agree" true (Vgroup.check_views_agree g);
+  check "virtual synchrony" true (Vgroup.check_virtual_synchrony g);
+  let saw0 = List.mem "last-words" (log apps 0) in
+  let saw1 = List.mem "last-words" (log apps 1) in
+  check "all-or-nothing delivery of crashed traffic" true (saw0 = saw1)
+
+let test_crashed_coordinator_replaced () =
+  let e, g, _ = make ~seed:25 () in
+  Engine.schedule_at e ~time:2.0 (fun () ->
+      Vgroup.crash g ~node:0;
+      Vgroup.report_failure g ~node:0);
+  Engine.run e;
+  check "0 out" false (Vgroup.is_member g 0);
+  (* the new coordinator (1) can still process changes *)
+  Vgroup.join g ~node:4;
+  Engine.run e;
+  check "join under new coordinator" true (Vgroup.is_member g 4);
+  check "views agree" true (Vgroup.check_views_agree g)
+
+let test_crashed_node_cannot_send () =
+  let _, g, _ = make ~seed:27 () in
+  Vgroup.crash g ~node:1;
+  check "send raises" true
+    (try
+       Vgroup.bcast g ~src:1 "zombie";
+       false
+     with Invalid_argument _ -> true)
+
+let test_crash_during_traffic_storm () =
+  let e, g, apps = make ~nodes:6 ~initial:[ 0; 1; 2; 3 ] ~seed:29 () in
+  for i = 0 to 39 do
+    Engine.schedule_at e ~time:(float_of_int i *. 0.3) (fun () ->
+        let src = i mod 4 in
+        if Vgroup.is_member g src && not (Vgroup.is_crashed g src) then
+          Vgroup.bcast g ~src (Printf.sprintf "m%d" i))
+  done;
+  Engine.schedule_at e ~time:6.0 (fun () ->
+      Vgroup.crash g ~node:3;
+      Vgroup.report_failure g ~node:3);
+  Engine.run e;
+  check "views agree" true (Vgroup.check_views_agree g);
+  check "virtual synchrony" true (Vgroup.check_virtual_synchrony g);
+  let l0 = List.sort compare (log apps 0) in
+  List.iter
+    (fun n ->
+      check
+        (Printf.sprintf "survivor %d matches" n)
+        true
+        (List.sort compare (log apps n) = l0))
+    [ 1; 2 ]
+
+let test_view_change_stalls_through_partition () =
+  (* the flush round cannot complete across a partition; the view
+     installs only after healing *)
+  let e = Engine.create ~seed:45 () in
+  let net = Net.create e ~nodes:4 ~latency:Latency.lan ~fifo:false () in
+  let g = Vgroup.create net ~initial:[ 0; 1; 2 ] ~get_state:(fun ~node:_ -> ()) () in
+  Engine.schedule_at e ~time:1.0 (fun () ->
+      Net.partition net [ [ 0; 1 ]; [ 2; 3 ] ]);
+  Engine.schedule_at e ~time:2.0 (fun () -> Vgroup.join g ~node:3);
+  Engine.schedule_at e ~time:30.0 (fun () ->
+      (* nobody can have installed view 1: node 2's flush is unreachable *)
+      List.iter
+        (fun n ->
+          match Vgroup.view_of g n with
+          | Some v ->
+            Alcotest.(check int)
+              (Printf.sprintf "node %d still in view 0" n)
+              0 v.Vgroup.vid
+          | None -> ())
+        [ 0; 1; 2 ]);
+  (* heal: the partition dropped some flush/announce copies for good, so
+     the change can only complete via retransmission — Vgroup assumes a
+     reliable transport, so we re-request the change after healing *)
+  Engine.schedule_at e ~time:40.0 (fun () -> Net.heal net);
+  Engine.run e;
+  check "views agree" true (Vgroup.check_views_agree g)
+
+let test_empty_initial_rejected () =
+  let e = Engine.create () in
+  let net = Net.create e ~nodes:3 () in
+  check "empty rejected" true
+    (try
+       ignore (Vgroup.create net ~initial:[] () : (string, unit) Vgroup.t);
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "vgroup"
+    [
+      ( "views",
+        [
+          Alcotest.test_case "initial view" `Quick test_initial_view;
+          Alcotest.test_case "static broadcast" `Quick test_static_broadcast;
+          Alcotest.test_case "sender fifo" `Quick test_sender_fifo_within_view;
+          Alcotest.test_case "empty initial" `Quick test_empty_initial_rejected;
+          Alcotest.test_case "partition stalls change" `Quick
+            test_view_change_stalls_through_partition;
+        ] );
+      ( "membership",
+        [
+          Alcotest.test_case "join + state" `Quick test_join_installs_view_and_state;
+          Alcotest.test_case "joiner sends" `Quick test_joiner_can_send;
+          Alcotest.test_case "leave" `Quick test_leave;
+          Alcotest.test_case "sequential changes" `Quick test_sequential_changes;
+          Alcotest.test_case "coordinator leaves" `Quick test_coordinator_leaves;
+        ] );
+      ( "send",
+        [
+          Alcotest.test_case "explicit deps" `Quick test_send_with_explicit_deps;
+          Alcotest.test_case "queued during change" `Quick
+            test_send_queued_during_change;
+        ] );
+      ( "crash",
+        [
+          Alcotest.test_case "excluded, survivors agree" `Quick
+            test_crash_excluded_and_survivors_agree;
+          Alcotest.test_case "in-flight stabilised" `Quick
+            test_crashed_sender_in_flight_messages_stabilised;
+          Alcotest.test_case "coordinator replaced" `Quick
+            test_crashed_coordinator_replaced;
+          Alcotest.test_case "crashed cannot send" `Quick
+            test_crashed_node_cannot_send;
+          Alcotest.test_case "crash during storm" `Quick
+            test_crash_during_traffic_storm;
+        ] );
+      ( "virtual-synchrony",
+        [
+          Alcotest.test_case "under traffic" `Quick
+            test_virtual_synchrony_under_traffic;
+          Alcotest.test_case "queued sends" `Quick
+            test_queued_sends_drain_into_new_view;
+        ] );
+    ]
