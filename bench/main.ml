@@ -25,6 +25,7 @@ let experiments : (string * string * (unit -> unit)) list =
     ("A2", "ablation: view-change cost vs group size", Exp_a2.run);
     ("A3", "ablation: stability GC of the repair stash", Exp_a3.run);
     ("A4", "ablation: OR-dependency (first-response) extension", Exp_a4.run);
+    ("S1", "ordering stack: one workload over every composition", Exp_s1.run);
     ("micro", "bechamel micro-benchmarks of the hot paths", Micro.run);
   ]
 

@@ -1,66 +1,84 @@
-(* A replicated chat room on the shared Log datatype.
+(* A replicated chat room on the shared Log datatype, wired through the
+   composable ordering stack.
 
-   Messages are commutative appends (the log is kept in canonical
-   author/sequence order, so replicas agree regardless of arrival order);
-   sealing the room — closing a discussion segment — is the
-   non-commutative synchronization point at which every participant sees
-   the identical transcript.
+   The pipeline is  transport -> causal (OSend) -> total (Merge) -> app:
+   chat lines are spontaneous commutative appends; sealing the room is
+   the closing sync the deterministic merge anchors on.  Every replica
+   therefore applies the identical operation sequence — the transcript is
+   the same everywhere without a sequencer or extra protocol messages.
 
    Run with:  dune exec examples/chat.exe *)
 
 module Engine = Causalb_sim.Engine
 module Latency = Causalb_sim.Latency
+module Stack = Causalb_stack.Stack
+module Message = Causalb_core.Message
+module Checker = Causalb_core.Checker
+module Dep = Causalb_graph.Dep
 module Dt = Causalb_data.Datatypes
-module Service = Causalb_data.Service
-module Replica = Causalb_data.Replica
+module Sm = Causalb_data.State_machine
 
 let people = [| "ada"; "barbara"; "grace" |]
 
 let () =
   let engine = Engine.create ~seed:17 () in
-  let svc =
-    Service.create engine ~replicas:3 ~machine:Dt.Log.machine
+  let machine = Dt.Log.machine in
+  let states = Array.make 3 machine.Sm.init in
+  let is_sync m =
+    match Message.payload m with Dt.Log.Seal -> true | Dt.Log.Append _ -> false
+  in
+  let stack =
+    Stack.compose ~ordering:Stack.Osend ~total:(Stack.Merge is_sync)
       ~latency:(Latency.lognormal ~mu:1.0 ~sigma:1.0 ())
-      ~fifo:false ()
+      ~fifo:false
+      ~on_deliver:(fun ~node ~time:_ msg ->
+        states.(node) <- machine.Sm.apply states.(node) (Message.payload msg))
+      engine ~nodes:3 ()
   in
   let seqs = Array.make 3 0 in
+  (* §6.1 shape: appends are spontaneous, but the seal names them all —
+     that is what makes the merge bracket identical at every replica. *)
+  let window = ref [] in
   let say ~who text =
     let seq = seqs.(who) in
     seqs.(who) <- seq + 1;
-    ignore
-      (Service.submit svc ~src:who
-         (Dt.Log.Append (Dt.Log.entry ~author:who ~seq text)))
+    match
+      Stack.submit stack ~src:who ~dep:Dep.null
+        (Dt.Log.Append (Dt.Log.entry ~author:who ~seq text))
+    with
+    | Some label -> window := label :: !window
+    | None -> ()
   in
   Engine.schedule_at engine ~time:0.0 (fun () -> say ~who:0 "shall we cut 4.2?");
   Engine.schedule_at engine ~time:0.2 (fun () -> say ~who:1 "keep it, trim 5");
   Engine.schedule_at engine ~time:0.3 (fun () -> say ~who:2 "agree with barbara");
   Engine.schedule_at engine ~time:0.6 (fun () -> say ~who:0 "ok, trimming 5");
   Engine.schedule_at engine ~time:5.0 (fun () ->
-      ignore (Service.submit svc ~src:0 Dt.Log.Seal));
-  Service.run svc;
+      ignore
+        (Stack.submit stack ~src:0
+           ~dep:(Dep.after_all (List.rev !window))
+           Dt.Log.Seal));
+  Stack.run stack;
 
   print_endline "--- sealed transcript, as stored at every replica ---";
-  let stable = Replica.stable_state (Service.replica svc 1) in
   List.iter
     (fun segment ->
       List.iter
         (fun (e : Dt.Log.entry) ->
           Printf.printf "  <%s> %s\n" people.(e.Dt.Log.author) e.Dt.Log.text)
         segment)
-    (List.rev stable.Dt.Log.sealed);
+    (List.rev states.(1).Dt.Log.sealed);
 
   print_endline "\nconsistency checks:";
-  List.iter
-    (fun (name, ok) ->
-      Printf.printf "  %-32s %s\n" name (if ok then "ok" else "VIOLATED"))
-    (Service.check svc);
-  assert (List.for_all snd (Service.check svc));
+  let identical = Checker.identical_orders (Stack.all_delivered_orders stack) in
+  Printf.printf "  %-32s %s\n" "identical release order"
+    (if identical then "ok" else "VIOLATED");
   let all_equal =
-    List.for_all
-      (fun r ->
-        Dt.Log.machine.Causalb_data.State_machine.equal
-          (Replica.stable_state r) stable)
-      (Service.replicas svc)
+    Array.for_all (fun s -> machine.Sm.equal s states.(0)) states
   in
-  Printf.printf "transcripts identical at all replicas: %b\n" all_equal;
-  assert all_equal
+  Printf.printf "  %-32s %s\n" "transcripts identical"
+    (if all_equal then "ok" else "VIOLATED");
+  assert (identical && all_equal);
+
+  print_endline "\nper-layer metrics:";
+  Format.printf "%a@." Stack.pp_metrics stack

@@ -1,0 +1,57 @@
+(* One workload, four delivery pipelines.
+
+   The same §6.1-style operation mix (commutative increments with
+   periodic non-commutative syncs) is pushed through four compositions
+   of the ordering stack:
+
+     fifo          transport -> per-sender fifo -> app
+     bss           transport -> vector-clock causal -> app
+     osend         transport -> explicit-dependency causal -> app
+     osend+merge   transport -> osend -> deterministic merge -> app
+
+   Each composition reports the identical per-layer metrics table —
+   received / delivered / forced waits / held / release-latency
+   percentiles per layer — which is the point of the uniform LAYER
+   interface: the orderings become comparable columns, not separate
+   programs.
+
+   Run with:  dune exec examples/ordering_stack.exe *)
+
+module Drivers = Causalb_harness.Drivers
+module Metrics = Causalb_stackbase.Metrics
+module Table = Causalb_util.Table
+
+let workload = { Drivers.ops = 120; spacing = 0.5; mix = Drivers.Fixed_window 5 }
+
+let specs =
+  [
+    Drivers.Fifo_only;
+    Drivers.Bss_stack;
+    Drivers.Osend_stack;
+    Drivers.Osend_merge;
+  ]
+
+let () =
+  List.iter
+    (fun spec ->
+      let r = Drivers.run_stack ~seed:42 ~replicas:4 spec workload in
+      let tbl =
+        Table.create
+          ~title:
+            (Printf.sprintf "stack: %s  (checks %s, %d msgs, makespan %s)"
+               (Drivers.stack_spec_name spec)
+               (if r.Drivers.checks_ok then "ok" else "FAILED")
+               r.Drivers.messages
+               (Drivers.fmt r.Drivers.sim_time))
+          ~columns:Metrics.columns
+      in
+      List.iter (fun m -> Table.add_row tbl (Metrics.row m)) r.Drivers.layers;
+      Table.print tbl)
+    specs;
+  print_endline
+    "note: same traffic, same makespan, different constraint sets — the\n\
+     waits column quantifies each layer's ordering strictness: fifo only\n\
+     repairs per-origin reordering, bss waits for inferred potential\n\
+     causality, osend for the application's explicit §6.1 windows, and\n\
+     the merge layer additionally withholds every message until its\n\
+     closing sync."

@@ -3,6 +3,7 @@ module Dep = Causalb_graph.Dep
 module Latency = Causalb_sim.Latency
 module Engine = Causalb_sim.Engine
 module Net = Causalb_net.Net
+module Metrics = Causalb_stackbase.Metrics
 
 let default_compare a b = Label.compare (Message.label a) (Message.label b)
 
@@ -14,31 +15,54 @@ module Merge = struct
     mutable buffer : 'a Message.t list;
     mutable order_rev : Label.t list;
     mutable batches : int;
+    metrics : Metrics.t;
   }
 
   let create ~is_sync ?(compare = default_compare) ?(deliver = fun _ -> ()) ()
       =
-    { is_sync; compare; deliver; buffer = []; order_rev = []; batches = 0 }
+    {
+      is_sync;
+      compare;
+      deliver;
+      buffer = [];
+      order_rev = [];
+      batches = 0;
+      metrics = Metrics.create ~name:"total:merge" ();
+    }
 
   let release t msg =
     t.order_rev <- Message.label msg :: t.order_rev;
+    Metrics.on_deliver t.metrics;
     t.deliver msg
 
   let on_causal_deliver t msg =
+    Metrics.on_receive t.metrics;
     if t.is_sync msg then begin
       let batch = List.sort t.compare (List.rev t.buffer) in
       t.buffer <- [];
       t.batches <- t.batches + 1;
-      List.iter (release t) batch;
+      List.iter
+        (fun m ->
+          Metrics.on_unbuffer t.metrics;
+          release t m)
+        batch;
+      (* the closing sync itself never waits *)
       release t msg
     end
-    else t.buffer <- msg :: t.buffer
+    else begin
+      Metrics.on_buffer t.metrics;
+      t.buffer <- msg :: t.buffer
+    end
 
   let total_order t = List.rev t.order_rev
 
   let buffered t = List.length t.buffer
 
   let batches t = t.batches
+
+  let metrics t =
+    t.metrics.Metrics.buffered <- List.length t.buffer;
+    t.metrics
 end
 
 module Counted = struct
@@ -49,25 +73,42 @@ module Counted = struct
     mutable buffer : 'a Message.t list;
     mutable order_rev : Label.t list;
     mutable batches : int;
+    metrics : Metrics.t;
   }
 
   let create ~batch_size ?(compare = default_compare)
       ?(deliver = fun _ -> ()) () =
     if batch_size <= 0 then
       invalid_arg "Asend.Counted.create: batch_size must be positive";
-    { batch_size; compare; deliver; buffer = []; order_rev = []; batches = 0 }
+    {
+      batch_size;
+      compare;
+      deliver;
+      buffer = [];
+      order_rev = [];
+      batches = 0;
+      metrics = Metrics.create ~name:"total:counted" ();
+    }
 
   let release t msg =
     t.order_rev <- Message.label msg :: t.order_rev;
+    Metrics.on_deliver t.metrics;
     t.deliver msg
 
   let on_causal_deliver t msg =
-    t.buffer <- msg :: t.buffer;
-    if List.length t.buffer = t.batch_size then begin
-      let batch = List.sort t.compare (List.rev t.buffer) in
+    Metrics.on_receive t.metrics;
+    (* the batch-completing arrival is released immediately; everything
+       before it in the bracket had to wait *)
+    if List.length t.buffer + 1 = t.batch_size then begin
+      let batch = List.sort t.compare (List.rev (msg :: t.buffer)) in
+      List.iter (fun _ -> Metrics.on_unbuffer t.metrics) t.buffer;
       t.buffer <- [];
       t.batches <- t.batches + 1;
       List.iter (release t) batch
+    end
+    else begin
+      Metrics.on_buffer t.metrics;
+      t.buffer <- msg :: t.buffer
     end
 
   let total_order t = List.rev t.order_rev
@@ -75,6 +116,10 @@ module Counted = struct
   let buffered t = List.length t.buffer
 
   let batches t = t.batches
+
+  let metrics t =
+    t.metrics.Metrics.buffered <- List.length t.buffer;
+    t.metrics
 end
 
 module Timestamp = struct
@@ -188,6 +233,7 @@ module Sequencer = struct
     rng : Causalb_util.Rng.t;
     mutable last : Label.t option;
     mutable sequenced : int;
+    metrics : Metrics.t;
   }
 
   let create group ?(node = 0) ?(submit_latency = Latency.lan) () =
@@ -201,6 +247,7 @@ module Sequencer = struct
       rng = Engine.fork_rng engine;
       last = None;
       sequenced = 0;
+      metrics = Metrics.create ~name:"total:sequencer" ();
     }
 
   let broadcast_chained t ?name payload =
@@ -209,17 +256,26 @@ module Sequencer = struct
     in
     let label = Group.osend t.group ~src:t.node ?name ~dep payload in
     t.last <- Some label;
-    t.sequenced <- t.sequenced + 1
+    t.sequenced <- t.sequenced + 1;
+    Metrics.on_deliver t.metrics
 
   let asend t ~src ?name payload =
     let engine = Net.engine (Group.net t.group) in
+    Metrics.on_receive t.metrics;
     if src = t.node then broadcast_chained t ?name payload
     else begin
       (* Submission hop: one unicast delay to reach the sequencer. *)
+      Metrics.on_buffer t.metrics;
       let delay = Latency.sample t.rng t.submit_latency in
       Engine.schedule engine ~delay (fun () ->
+          Metrics.on_unbuffer t.metrics;
           broadcast_chained t ?name payload)
     end
 
   let sequenced t = t.sequenced
+
+  let metrics t =
+    t.metrics.Metrics.buffered <-
+      t.metrics.Metrics.received - t.sequenced;
+    t.metrics
 end

@@ -49,6 +49,9 @@ module Merge : sig
 
   val batches : 'a t -> int
   (** Completed brackets so far. *)
+
+  val metrics : 'a t -> Causalb_stackbase.Metrics.t
+  (** Uniform layer metrics (see {!Causalb_stack.Layer}). *)
 end
 
 (** Count-closed deterministic merge: a batch is released once
@@ -71,6 +74,9 @@ module Counted : sig
   val buffered : 'a t -> int
 
   val batches : 'a t -> int
+
+  val metrics : 'a t -> Causalb_stackbase.Metrics.t
+  (** Uniform layer metrics (see {!Causalb_stack.Layer}). *)
 end
 
 (** Decentralised timestamp total order (Lamport 1978, the paper's
@@ -127,4 +133,8 @@ module Sequencer : sig
 
   val sequenced : 'a t -> int
   (** Messages the sequencer has broadcast so far. *)
+
+  val metrics : 'a t -> Causalb_stackbase.Metrics.t
+  (** Uniform layer metrics: [received] counts submissions, [delivered]
+      counts sequenced broadcasts, [buffered] is the in-flight gap. *)
 end

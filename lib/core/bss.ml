@@ -1,6 +1,8 @@
 module Vc = Causalb_clock.Vector_clock
 module Net = Causalb_net.Net
 module Engine = Causalb_sim.Engine
+module Metrics = Causalb_stackbase.Metrics
+module Sgroup = Causalb_stackbase.Sgroup
 
 type 'a envelope = { sender : int; stamp : Vc.t; tag : string; payload : 'a }
 
@@ -12,8 +14,7 @@ type 'a member = {
   mutable own_sends : int;
   mutable pending : 'a envelope list; (* arrival order, reversed *)
   mutable tags_rev : string list;
-  mutable delivered_n : int;
-  mutable buffered_ever : int;
+  metrics : Metrics.t;
 }
 
 let member ~id ~group_size ?(deliver = fun _ -> ()) () =
@@ -26,8 +27,7 @@ let member ~id ~group_size ?(deliver = fun _ -> ()) () =
     own_sends = 0;
     pending = [];
     tags_rev = [];
-    delivered_n = 0;
-    buffered_ever = 0;
+    metrics = Metrics.create ~name:"causal:bss" ();
   }
 
 let deliverable t (e : 'a envelope) =
@@ -40,7 +40,7 @@ let deliverable t (e : 'a envelope) =
 let do_deliver t e =
   t.delivered.(e.sender) <- t.delivered.(e.sender) + 1;
   t.tags_rev <- e.tag :: t.tags_rev;
-  t.delivered_n <- t.delivered_n + 1;
+  Metrics.on_deliver t.metrics;
   t.deliver e
 
 let rec drain t =
@@ -48,11 +48,16 @@ let rec drain t =
   let ready, blocked = List.partition (deliverable t) pending in
   if ready <> [] then begin
     t.pending <- List.rev blocked;
-    List.iter (do_deliver t) ready;
+    List.iter
+      (fun e ->
+        Metrics.on_unbuffer t.metrics;
+        do_deliver t e)
+      ready;
     drain t
   end
 
 let receive t e =
+  Metrics.on_receive t.metrics;
   (* Duplicate or stale copies (stamp component not above the delivered
      count) are discarded. *)
   if Vc.get e.stamp e.sender <= t.delivered.(e.sender) then ()
@@ -61,17 +66,21 @@ let receive t e =
     drain t
   end
   else begin
-    t.buffered_ever <- t.buffered_ever + 1;
+    Metrics.on_buffer t.metrics;
     t.pending <- e :: t.pending
   end
 
 let delivered_tags t = List.rev t.tags_rev
 
-let delivered_count t = t.delivered_n
+let delivered_count t = t.metrics.Metrics.delivered
 
 let pending_count t = List.length t.pending
 
-let buffered_ever t = t.buffered_ever
+let buffered_ever t = t.metrics.Metrics.forced_waits
+
+let metrics t =
+  t.metrics.Metrics.buffered <- List.length t.pending;
+  t.metrics
 
 let clock t =
   (* Own component counts own sends (each send ticks it); the other
@@ -82,34 +91,30 @@ let clock t =
   Vc.of_array v
 
 module Group = struct
-  type 'a t = { net : 'a envelope Net.t; members : 'a member array }
+  type 'a t = ('a member, 'a envelope) Sgroup.t
 
   let create net ?(on_deliver = fun ~node:_ ~time:_ _ -> ()) () =
     let n = Net.nodes net in
     let engine = Net.engine net in
-    let make_member node =
-      let deliver e = on_deliver ~node ~time:(Engine.now engine) e in
-      member ~id:node ~group_size:n ~deliver ()
-    in
-    let members = Array.init n make_member in
-    for node = 0 to n - 1 do
-      Net.set_handler net node (fun ~src:_ e -> receive members.(node) e)
-    done;
-    { net; members }
+    Sgroup.create net
+      ~member:(fun node ->
+        let deliver e = on_deliver ~node ~time:(Engine.now engine) e in
+        member ~id:node ~group_size:n ~deliver ())
+      ~receive
 
-  let size t = Array.length t.members
+  let size = Sgroup.size
 
   let bcast t ~src ?(tag = "") payload =
-    let m = t.members.(src) in
+    let m = Sgroup.member t src in
     m.own_sends <- m.own_sends + 1;
     (* Stamp: delivered counts with own component = own send count.  This
        is the classic BSS stamp — it encodes everything the sender has
        delivered (potential causes) plus its own send sequence. *)
     let stamp = clock m in
     let e = { sender = src; stamp; tag; payload } in
-    Net.broadcast t.net ~src e
+    Net.broadcast (Sgroup.net t) ~src e
 
-  let member t i = t.members.(i)
+  let member = Sgroup.member
 
-  let delivered_tags t i = delivered_tags t.members.(i)
+  let delivered_tags t i = delivered_tags (Sgroup.member t i)
 end

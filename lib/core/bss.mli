@@ -39,6 +39,9 @@ val buffered_ever : 'a member -> int
 (** Messages that could not be delivered on arrival and had to wait — the
     forced-wait counter of T6. *)
 
+val metrics : 'a member -> Causalb_stackbase.Metrics.t
+(** The member's uniform layer metrics (see {!Causalb_stack.Layer}). *)
+
 val clock : 'a member -> Causalb_clock.Vector_clock.t
 (** The member's current vector clock (delivered counts + own sends). *)
 

@@ -1,5 +1,7 @@
 module Net = Causalb_net.Net
 module Engine = Causalb_sim.Engine
+module Metrics = Causalb_stackbase.Metrics
+module Sgroup = Causalb_stackbase.Sgroup
 
 type 'a envelope = { sender : int; seq : int; tag : string; payload : 'a }
 
@@ -9,7 +11,7 @@ type 'a member = {
   next_seq : int array; (* expected next per origin *)
   mutable pending : 'a envelope list;
   mutable tags_rev : string list;
-  mutable delivered_n : int;
+  metrics : Metrics.t;
 }
 
 let member ~id ~group_size ?(deliver = fun _ -> ()) () =
@@ -20,7 +22,7 @@ let member ~id ~group_size ?(deliver = fun _ -> ()) () =
     next_seq = Array.make group_size 0;
     pending = [];
     tags_rev = [];
-    delivered_n = 0;
+    metrics = Metrics.create ~name:"causal:fifo" ();
   }
 
 let deliverable t e = e.seq = t.next_seq.(e.sender)
@@ -28,7 +30,7 @@ let deliverable t e = e.seq = t.next_seq.(e.sender)
 let do_deliver t e =
   t.next_seq.(e.sender) <- e.seq + 1;
   t.tags_rev <- e.tag :: t.tags_rev;
-  t.delivered_n <- t.delivered_n + 1;
+  Metrics.on_deliver t.metrics;
   t.deliver e
 
 let rec drain t =
@@ -36,52 +38,64 @@ let rec drain t =
   let ready, blocked = List.partition (deliverable t) pending in
   if ready <> [] then begin
     t.pending <- List.rev blocked;
-    List.iter (do_deliver t) ready;
+    List.iter
+      (fun e ->
+        Metrics.on_unbuffer t.metrics;
+        do_deliver t e)
+      ready;
     drain t
   end
 
 let receive t e =
+  Metrics.on_receive t.metrics;
   if e.seq < t.next_seq.(e.sender) then () (* duplicate *)
   else if deliverable t e then begin
     do_deliver t e;
     drain t
   end
-  else t.pending <- e :: t.pending
+  else begin
+    Metrics.on_buffer t.metrics;
+    t.pending <- e :: t.pending
+  end
 
 let delivered_tags t = List.rev t.tags_rev
 
-let delivered_count t = t.delivered_n
+let delivered_count t = t.metrics.Metrics.delivered
 
 let pending_count t = List.length t.pending
 
+let buffered_ever t = t.metrics.Metrics.forced_waits
+
+let metrics t =
+  t.metrics.Metrics.buffered <- List.length t.pending;
+  t.metrics
+
 module Group = struct
   type 'a t = {
-    net : 'a envelope Net.t;
-    members : 'a member array;
+    sg : ('a member, 'a envelope) Sgroup.t;
     seqs : int array;
   }
 
   let create net ?(on_deliver = fun ~node:_ ~time:_ _ -> ()) () =
     let n = Net.nodes net in
     let engine = Net.engine net in
-    let make_member node =
-      let deliver e = on_deliver ~node ~time:(Engine.now engine) e in
-      member ~id:node ~group_size:n ~deliver ()
+    let sg =
+      Sgroup.create net
+        ~member:(fun node ->
+          let deliver e = on_deliver ~node ~time:(Engine.now engine) e in
+          member ~id:node ~group_size:n ~deliver ())
+        ~receive
     in
-    let members = Array.init n make_member in
-    for node = 0 to n - 1 do
-      Net.set_handler net node (fun ~src:_ e -> receive members.(node) e)
-    done;
-    { net; members; seqs = Array.make n 0 }
+    { sg; seqs = Array.make n 0 }
 
-  let size t = Array.length t.members
+  let size t = Sgroup.size t.sg
 
   let bcast t ~src ?(tag = "") payload =
     let seq = t.seqs.(src) in
     t.seqs.(src) <- seq + 1;
-    Net.broadcast t.net ~src { sender = src; seq; tag; payload }
+    Net.broadcast (Sgroup.net t.sg) ~src { sender = src; seq; tag; payload }
 
-  let member t i = t.members.(i)
+  let member t i = Sgroup.member t.sg i
 
-  let delivered_tags t i = delivered_tags t.members.(i)
+  let delivered_tags t i = delivered_tags (member t i)
 end

@@ -21,6 +21,13 @@ val delivered_count : 'a member -> int
 
 val pending_count : 'a member -> int
 
+val buffered_ever : 'a member -> int
+(** Arrivals that had to wait for an earlier message from the same origin
+    — the uniform forced-wait counter of the ordering stack. *)
+
+val metrics : 'a member -> Causalb_stackbase.Metrics.t
+(** The member's uniform layer metrics (see {!Causalb_stack.Layer}). *)
+
 module Group : sig
   type 'a t
 

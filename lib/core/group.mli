@@ -14,11 +14,14 @@ type 'a t
 val create :
   'a Message.t Causalb_net.Net.t ->
   ?trace:Causalb_sim.Trace.t ->
+  ?on_send:(time:float -> Causalb_graph.Label.t -> unit) ->
   ?on_deliver:(node:int -> time:float -> 'a Message.t -> unit) ->
   unit ->
   'a t
 (** Installs a handler on every node of the network.  The network must not
-    have other handlers on those nodes. *)
+    have other handlers on those nodes.  [on_send] fires for every
+    broadcast at the moment it is handed to the transport, whoever
+    initiated it — the hook latency measurement attaches to. *)
 
 val net : 'a t -> 'a Message.t Causalb_net.Net.t
 

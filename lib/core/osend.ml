@@ -1,6 +1,7 @@
 module Label = Causalb_graph.Label
 module Dep = Causalb_graph.Dep
 module Depgraph = Causalb_graph.Depgraph
+module Metrics = Causalb_stackbase.Metrics
 
 type 'a t = {
   id : int;
@@ -8,9 +9,9 @@ type 'a t = {
   mutable delivered : Label.Set.t;
   mutable delivered_rev : Label.t list;
   mutable pending_rev : 'a Message.t list;
-  mutable buffered_ever : int;
   graph : Depgraph.t;
   seen : unit Label.Tbl.t; (* every label ever received *)
+  metrics : Metrics.t;
 }
 
 let create ~id ?(deliver = fun _ -> ()) () =
@@ -20,9 +21,9 @@ let create ~id ?(deliver = fun _ -> ()) () =
     delivered = Label.Set.empty;
     delivered_rev = [];
     pending_rev = [];
-    buffered_ever = 0;
     graph = Depgraph.create ();
     seen = Label.Tbl.create 64;
+    metrics = Metrics.create ~name:"causal:osend" ();
   }
 
 let id t = t.id
@@ -35,6 +36,7 @@ let deliverable t msg =
 let do_deliver t msg =
   t.delivered <- Label.Set.add (Message.label msg) t.delivered;
   t.delivered_rev <- Message.label msg :: t.delivered_rev;
+  Metrics.on_deliver t.metrics;
   t.deliver msg
 
 (* After a delivery, repeatedly sweep the pending pool: releasing one
@@ -46,12 +48,17 @@ let rec drain_pending t =
   let ready, blocked = List.partition (deliverable t) pending in
   if ready <> [] then begin
     t.pending_rev <- List.rev blocked;
-    List.iter (do_deliver t) ready;
+    List.iter
+      (fun msg ->
+        Metrics.on_unbuffer t.metrics;
+        do_deliver t msg)
+      ready;
     drain_pending t
   end
 
 let receive t msg =
   let l = Message.label msg in
+  Metrics.on_receive t.metrics;
   if not (Label.Tbl.mem t.seen l) then begin
     Label.Tbl.add t.seen l ();
     Depgraph.add t.graph l ~dep:(Message.dep msg);
@@ -60,20 +67,24 @@ let receive t msg =
       drain_pending t
     end
     else begin
-      t.buffered_ever <- t.buffered_ever + 1;
+      Metrics.on_buffer t.metrics;
       t.pending_rev <- msg :: t.pending_rev
     end
   end
 
 let delivered_order t = List.rev t.delivered_rev
 
-let delivered_count t = List.length t.delivered_rev
+let delivered_count t = t.metrics.Metrics.delivered
 
 let pending t = List.rev t.pending_rev
 
 let pending_count t = List.length t.pending_rev
 
-let buffered_ever t = t.buffered_ever
+let buffered_ever t = t.metrics.Metrics.forced_waits
+
+let metrics t =
+  t.metrics.Metrics.buffered <- List.length t.pending_rev;
+  t.metrics
 
 let graph t = t.graph
 

@@ -47,6 +47,9 @@ val buffered_ever : 'a t -> int
     ancestor — the forced-wait counter compared against {!Bss} in
     experiment T6. *)
 
+val metrics : 'a t -> Causalb_stackbase.Metrics.t
+(** The member's uniform layer metrics (see {!Causalb_stack.Layer}). *)
+
 val graph : 'a t -> Causalb_graph.Depgraph.t
 (** The extracted dependency graph over every message seen (delivered or
     pending).  Do not mutate. *)

@@ -2,6 +2,7 @@ module Net = Causalb_net.Net
 module Engine = Causalb_sim.Engine
 module Label = Causalb_graph.Label
 module Dep = Causalb_graph.Dep
+module Sgroup = Causalb_stackbase.Sgroup
 
 type 'a member = {
   id : int;
@@ -12,8 +13,7 @@ type 'a member = {
 }
 
 type 'a t = {
-  net : 'a Message.t Net.t;
-  members : 'a member array;
+  sg : ('a member, 'a Message.t) Sgroup.t;
   seqs : int array;
   mutable context_total : int;
 }
@@ -29,28 +29,25 @@ let note_received m (msg : 'a Message.t) =
 let create net ?(on_deliver = fun ~node:_ ~time:_ _ -> ()) () =
   let n = Net.nodes net in
   let engine = Net.engine net in
-  let members =
-    Array.init n (fun id ->
+  let sg =
+    Sgroup.create net
+      ~member:(fun id ->
         let deliver msg = on_deliver ~node:id ~time:(Engine.now engine) msg in
         {
           id;
           engine_member = Osend.create ~id ~deliver ();
           leaves = Label.Set.empty;
         })
-  in
-  let t = { net; members; seqs = Array.make n 0; context_total = 0 } in
-  for node = 0 to n - 1 do
-    Net.set_handler net node (fun ~src:_ msg ->
-        let m = members.(node) in
+      ~receive:(fun m msg ->
         note_received m msg;
         Osend.receive m.engine_member msg)
-  done;
-  t
+  in
+  { sg; seqs = Array.make n 0; context_total = 0 }
 
-let size t = Array.length t.members
+let size t = Sgroup.size t.sg
 
 let send t ~src ?name payload =
-  let m = t.members.(src) in
+  let m = Sgroup.member t.sg src in
   let seq = t.seqs.(src) in
   t.seqs.(src) <- seq + 1;
   let label = Label.make ?name ~origin:src ~seq () in
@@ -63,12 +60,12 @@ let send t ~src ?name payload =
      leaf *)
   note_received m msg;
   Osend.receive m.engine_member msg;
-  Net.broadcast t.net ~src ~self:false msg;
+  Net.broadcast (Sgroup.net t.sg) ~src ~self:false msg;
   label
 
-let member t i = t.members.(i).engine_member
+let member t i = (Sgroup.member t.sg i).engine_member
 
-let leaves_at t i = Label.Set.elements t.members.(i).leaves
+let leaves_at t i = Label.Set.elements (Sgroup.member t.sg i).leaves
 
 let delivered_order t i = Osend.delivered_order (member t i)
 
@@ -76,8 +73,8 @@ let all_delivered_orders t =
   List.init (size t) (fun i -> delivered_order t i)
 
 let buffered_ever t =
-  Array.fold_left
-    (fun acc m -> acc + Osend.buffered_ever m.engine_member)
-    0 t.members
+  Sgroup.fold (fun acc m -> acc + Osend.buffered_ever m.engine_member) 0 t.sg
+
+let metrics t i = Osend.metrics (member t i)
 
 let context_size_total t = t.context_total

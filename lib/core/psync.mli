@@ -48,5 +48,8 @@ val all_delivered_orders : 'a t -> Causalb_graph.Label.t list list
 val buffered_ever : 'a t -> int
 (** Forced waits across all members (T6 counter). *)
 
+val metrics : 'a t -> int -> Causalb_stackbase.Metrics.t
+(** Uniform layer metrics of one member's delivery engine. *)
+
 val context_size_total : 'a t -> int
 (** Total leaves named across all sends (wire cost of the context). *)

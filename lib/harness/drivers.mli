@@ -58,6 +58,42 @@ val run_timestamp :
   result
 (** Decentralised Lamport-timestamp total order (FIFO links, n² acks). *)
 
+(** {1 The composable ordering stack driver} *)
+
+(** Which pipeline composition to run the workload over. *)
+type stack_spec =
+  | Fifo_only          (** transport → fifo → app *)
+  | Bss_stack          (** transport → bss causal → app *)
+  | Psync_stack        (** transport → psync causal → app *)
+  | Osend_stack        (** transport → osend causal → app *)
+  | Osend_merge        (** … → osend → sync-anchored merge → app *)
+  | Osend_counted of int  (** … → osend → count-closed merge → app *)
+  | Osend_sequencer    (** … → sequencer chain over osend → app *)
+
+val stack_spec_name : stack_spec -> string
+
+type stack_result = {
+  delivery : Causalb_util.Stats.t;  (** submit → application release *)
+  messages : int;                   (** unicast copies on the wire *)
+  buffered : int;   (** forced waits in the causal layer, all members *)
+  layers : Causalb_stackbase.Metrics.t list;
+      (** uniform per-layer metrics, bottom-up *)
+  checks_ok : bool; (** same-set (causal) / identical-order (total) *)
+  sim_time : float;
+}
+
+val run_stack :
+  ?seed:int ->
+  ?latency:Causalb_sim.Latency.t ->
+  replicas:int ->
+  stack_spec ->
+  workload ->
+  stack_result
+(** Run the same §6.1-style workload as the standalone drivers over any
+    stack composition.  Deterministic in all arguments; on equal seeds
+    the delivery counts and forced-wait numbers of each composition match
+    the corresponding standalone driver. *)
+
 (** {1 Reporting helpers} *)
 
 val p50 : Causalb_util.Stats.t -> float

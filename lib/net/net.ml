@@ -18,6 +18,7 @@ type 'a t = {
   mutable delivered : int;
   mutable dropped : int;
   mutable bytes : int;
+  mutable in_flight : int;
 }
 
 let create engine ~nodes ?(latency = Latency.lan) ?(fifo = true)
@@ -38,6 +39,7 @@ let create engine ~nodes ?(latency = Latency.lan) ?(fifo = true)
     delivered = 0;
     dropped = 0;
     bytes = 0;
+    in_flight = 0;
   }
 
 let engine t = t.engine
@@ -64,6 +66,7 @@ let reachable t src dst =
   | Some cells -> cells.(src) = cells.(dst)
 
 let deliver t ~src ~dst payload =
+  t.in_flight <- t.in_flight - 1;
   match t.handlers.(dst) with
   | Some f ->
     t.delivered <- t.delivered + 1;
@@ -90,6 +93,7 @@ let schedule_copy t ~src ~dst payload =
     end
     else arrival
   in
+  t.in_flight <- t.in_flight + 1;
   Engine.schedule_at t.engine ~time:arrival (fun () ->
       deliver t ~src ~dst payload)
 
@@ -124,6 +128,7 @@ let broadcast t ~src ?(self = true) ?(size = 1) payload =
   done;
   if self then begin
     t.sent <- t.sent + 1;
+    t.in_flight <- t.in_flight + 1;
     (* Local copy: processed at the same virtual instant, after the
        current callback returns. *)
     Engine.schedule t.engine ~delay:0.0 (fun () -> deliver t ~src ~dst:src payload)
@@ -161,3 +166,5 @@ let messages_delivered t = t.delivered
 let messages_dropped t = t.dropped
 
 let bytes_sent t = t.bytes
+
+let in_flight t = t.in_flight

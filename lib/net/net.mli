@@ -60,3 +60,7 @@ val messages_delivered : 'a t -> int
 val messages_dropped : 'a t -> int
 
 val bytes_sent : 'a t -> int
+
+val in_flight : 'a t -> int
+(** Copies scheduled but not yet handed to a receiver — the transport
+    layer's buffered gauge in the ordering stack. *)

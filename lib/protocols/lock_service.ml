@@ -1,7 +1,6 @@
 module Engine = Causalb_sim.Engine
 module Latency = Causalb_sim.Latency
-module Net = Causalb_net.Net
-module Group = Causalb_core.Group
+module Stack = Causalb_stack.Stack
 module Message = Causalb_core.Message
 module Dep = Causalb_graph.Dep
 module Label = Causalb_graph.Label
@@ -31,7 +30,7 @@ type view = {
 
 type t = {
   engine : Engine.t;
-  group : msg Group.t;
+  stack : msg Stack.t;
   members : int;
   hold : Latency.t;
   hold_rng : Rng.t;
@@ -81,12 +80,12 @@ let broadcast_lock t member ~cycle ~dep =
     Hashtbl.replace t.cycle_start cycle now;
   let name = Printf.sprintf "LOCK.%d.%d" member cycle in
   ignore
-    (Group.osend t.group ~src:member ~name ~dep (Lock { member; cycle }))
+    (Stack.submit t.stack ~src:member ~name ~dep (Lock { member; cycle }))
 
 let broadcast_tfr t member ~position ~cycle ~dep =
   let name = Printf.sprintf "TFR.%d.%d" position cycle in
   ignore
-    (Group.osend t.group ~src:member ~name ~dep (Tfr { position; cycle }))
+    (Stack.submit t.stack ~src:member ~name ~dep (Tfr { position; cycle }))
 
 (* The member at [position] in the holder sequence acquires now, holds for
    a sampled duration, then broadcasts its transfer. *)
@@ -171,27 +170,26 @@ let create engine ~members ?(latency = Latency.lan)
     fun ~cycle ->
       match requesters ~cycle with [] -> default ~cycle | rs -> rs
   in
-  let net = Net.create engine ~nodes:members ~latency ?trace () in
   let views =
     Array.init members (fun vid ->
         { vid; locks = Hashtbl.create 16; tfrs = Hashtbl.create 16; orders = [] })
   in
-  (* The group's delivery callback needs [t], which needs the group: tie
+  (* The stack's delivery callback needs [t], which needs the stack: tie
      the knot through a forward reference (deliveries only begin once the
      engine runs, well after [create] returns). *)
   let t_ref = ref None in
-  let group =
-    Group.create net ?trace
+  let stack =
+    Stack.compose ~ordering:Stack.Osend ~latency ?trace
       ~on_deliver:(fun ~node ~time msg ->
         match !t_ref with
         | Some t -> on_deliver t ~node ~time msg
         | None -> assert false)
-      ()
+      engine ~nodes:members ()
   in
   let t =
     {
       engine;
-      group;
+      stack;
       members;
       hold;
       hold_rng = Engine.fork_rng engine;
@@ -255,4 +253,6 @@ let cycle_durations t = t.cycle_durations
 
 let wait_times t = t.wait_times
 
-let messages_sent t = Net.messages_sent (Group.net t.group)
+let messages_sent t = Stack.messages_sent t.stack
+
+let layer_metrics t = Stack.metrics t.stack

@@ -76,4 +76,7 @@ val wait_times : t -> Causalb_util.Stats.t
 
 val messages_sent : t -> int
 
+val layer_metrics : t -> Causalb_stackbase.Metrics.t list
+(** Uniform per-layer metrics of the underlying ordering stack. *)
+
 val pp_msg : Format.formatter -> msg -> unit

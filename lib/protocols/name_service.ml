@@ -1,8 +1,6 @@
 module Engine = Causalb_sim.Engine
 module Latency = Causalb_sim.Latency
-module Net = Causalb_net.Net
-module Group = Causalb_core.Group
-module Asend = Causalb_core.Asend
+module Stack = Causalb_stack.Stack
 module Message = Causalb_core.Message
 module Dep = Causalb_graph.Dep
 module Label = Causalb_graph.Label
@@ -31,9 +29,8 @@ type server = {
 
 type t = {
   engine : Engine.t;
-  group : op Group.t;
+  stack : op Stack.t;
   mode : mode;
-  sequencer : op Asend.Sequencer.t option;
   servers : server array;
   mutable next_uid : int;
   issue_times : (int, float) Hashtbl.t;
@@ -72,34 +69,34 @@ let apply_at t server ~label ~time = function
 
 let create engine ~servers:n ~mode ?(latency = Latency.lan) () =
   if n <= 0 then invalid_arg "Name_service.create: servers <= 0";
-  let net = Net.create engine ~nodes:n ~latency () in
   let servers =
     Array.init n (fun sid ->
         { sid; registry = Smap.empty; last_upd = Smap.empty })
   in
   let t_ref = ref None in
-  let group =
-    Group.create net
+  (* Fig. 4's two boxes are two stack compositions: bare causal broadcast
+     under the application's context check, or the same causal layer with
+     the sequencer interposed. *)
+  let total =
+    match mode with
+    | App_check -> Stack.Pass
+    | Total_order -> Stack.Sequencer { node = 0 }
+  in
+  let stack =
+    Stack.compose ~ordering:Stack.Osend ~total ~latency
       ~on_deliver:(fun ~node ~time msg ->
         match !t_ref with
         | Some t ->
           apply_at t t.servers.(node) ~label:(Message.label msg) ~time
             (Message.payload msg)
         | None -> assert false)
-      ()
-  in
-  let sequencer =
-    match mode with
-    | App_check -> None
-    | Total_order ->
-      Some (Asend.Sequencer.create group ~submit_latency:latency ())
+      engine ~nodes:n ()
   in
   let t =
     {
       engine;
-      group;
+      stack;
       mode;
-      sequencer;
       servers;
       next_uid = 0;
       issue_times = Hashtbl.create 256;
@@ -119,11 +116,9 @@ let fresh_uid t =
   uid
 
 let dispatch t ~src op =
-  match t.sequencer with
-  | Some seq -> Asend.Sequencer.asend seq ~src op
-  | None ->
-    (* Spontaneous: no causal relationship to anything (§5.2). *)
-    ignore (Group.osend t.group ~src ~dep:Dep.null op)
+  (* Spontaneous: no causal relationship to anything (§5.2).  Under
+     [Total_order] the stack routes through its sequencer. *)
+  ignore (Stack.submit t.stack ~src ~dep:Dep.null op)
 
 let update t ~src ~key value =
   let uid = fresh_uid t in
@@ -197,4 +192,6 @@ let final_states_agree t =
       (fun s -> Smap.equal String.equal s.registry first.registry)
       rest
 
-let messages_sent t = Net.messages_sent (Group.net t.group)
+let messages_sent t = Stack.messages_sent t.stack
+
+let layer_metrics t = Stack.metrics t.stack

@@ -1,4 +1,4 @@
-type kind = Send | Receive | Deliver | Drop | Mark
+type kind = Send | Receive | Deliver | Release | Drop | Mark
 
 type record = {
   time : float;
@@ -37,6 +37,7 @@ let kind_to_string = function
   | Send -> "send"
   | Receive -> "recv"
   | Deliver -> "dlvr"
+  | Release -> "rlse"
   | Drop -> "drop"
   | Mark -> "mark"
 

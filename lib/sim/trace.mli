@@ -9,6 +9,7 @@ type kind =
   | Send        (** message handed to the transport *)
   | Receive     (** message arrived at a node, pre-ordering *)
   | Deliver     (** message released to the application *)
+  | Release     (** a total-order layer released a buffered message *)
   | Drop        (** fault injection removed the message *)
   | Mark        (** free-form protocol milestone (stable point, lock grant …) *)
 

@@ -1,0 +1,87 @@
+module Metrics = Causalb_stackbase.Metrics
+
+module type S = sig
+  type t
+
+  type below
+
+  type above
+
+  val receive : t -> below -> unit
+
+  val metrics : t -> Metrics.t
+end
+
+module type PAYLOAD = sig
+  type t
+end
+
+module Fifo_layer (P : PAYLOAD) = struct
+  module Fifo = Causalb_core.Fifo
+
+  type t = P.t Fifo.member
+
+  type below = P.t Fifo.envelope
+
+  type above = P.t Fifo.envelope
+
+  let receive = Fifo.receive
+
+  let metrics = Fifo.metrics
+end
+
+module Bss_layer (P : PAYLOAD) = struct
+  module Bss = Causalb_core.Bss
+
+  type t = P.t Bss.member
+
+  type below = P.t Bss.envelope
+
+  type above = P.t Bss.envelope
+
+  let receive = Bss.receive
+
+  let metrics = Bss.metrics
+end
+
+module Osend_layer (P : PAYLOAD) = struct
+  module Osend = Causalb_core.Osend
+
+  type t = P.t Osend.t
+
+  type below = P.t Causalb_core.Message.t
+
+  type above = P.t Causalb_core.Message.t
+
+  let receive = Osend.receive
+
+  let metrics = Osend.metrics
+end
+
+module Merge_layer (P : PAYLOAD) = struct
+  module Asend = Causalb_core.Asend
+
+  type t = P.t Asend.Merge.t
+
+  type below = P.t Causalb_core.Message.t
+
+  type above = P.t Causalb_core.Message.t
+
+  let receive = Asend.Merge.on_causal_deliver
+
+  let metrics = Asend.Merge.metrics
+end
+
+module Counted_layer (P : PAYLOAD) = struct
+  module Asend = Causalb_core.Asend
+
+  type t = P.t Asend.Counted.t
+
+  type below = P.t Causalb_core.Message.t
+
+  type above = P.t Causalb_core.Message.t
+
+  let receive = Asend.Counted.on_causal_deliver
+
+  let metrics = Asend.Counted.metrics
+end

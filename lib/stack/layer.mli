@@ -1,0 +1,92 @@
+(** The common shape of an ordering-stack layer.
+
+    Every stage of a composed delivery pipeline — per-sender FIFO, a
+    causal broadcast engine, an interposed total-order function — is the
+    same kind of object: it {e receives} envelopes from the layer below in
+    whatever order they arrive, holds back the ones whose ordering
+    constraint is not yet satisfied, and {e delivers} the rest to the
+    layer above.  {!S} names that shape once, so the engines in
+    [Causalb_core] are interchangeable parts rather than five bespoke
+    state machines.
+
+    Delivery-to-above is a callback fixed at construction time (each
+    engine's [create] takes a [deliver] function); it cannot be part of
+    {!S} because construction arguments differ per engine (group size,
+    batch size, sync predicate …).  What {e is} uniform:
+
+    {ul
+    {- [receive] — hand the layer one envelope from below;}
+    {- [metrics] — the uniform {!Metrics.t} counters every layer keeps
+       (received / delivered / forced waits / currently buffered).}}
+
+    Trace integration is uniform too, but lives above the engines: the
+    stack records a {!Causalb_sim.Trace.Release} event each time the top
+    layer hands a message to the application, and the transport records
+    [Send]/[Receive]/[Drop] — so a trace shows one line per layer
+    crossing without the engines knowing about traces.
+
+    The functors below prove, by ascription, that each core engine
+    implements the signature.  [Stack.compose] does not go through them —
+    it wires the concrete engines directly so the standalone APIs keep
+    working — but they are the contract new layers must meet. *)
+
+module Metrics := Causalb_stackbase.Metrics
+
+module type S = sig
+  type t
+
+  type below
+  (** What arrives from the layer below. *)
+
+  type above
+  (** What this layer releases to the layer above. *)
+
+  val receive : t -> below -> unit
+  (** Receive-from-below.  May synchronously deliver any number of
+      messages (including previously buffered ones) to the layer above
+      via the construction-time callback. *)
+
+  val metrics : t -> Metrics.t
+  (** The layer's uniform counters.  Gauges are refreshed on read. *)
+end
+
+module type PAYLOAD = sig
+  type t
+end
+
+(** Per-sender FIFO ordering over raw transport. *)
+module Fifo_layer (P : PAYLOAD) :
+  S
+    with type t = P.t Causalb_core.Fifo.member
+     and type below = P.t Causalb_core.Fifo.envelope
+     and type above = P.t Causalb_core.Fifo.envelope
+
+(** Vector-clock (BSS) causal ordering. *)
+module Bss_layer (P : PAYLOAD) :
+  S
+    with type t = P.t Causalb_core.Bss.member
+     and type below = P.t Causalb_core.Bss.envelope
+     and type above = P.t Causalb_core.Bss.envelope
+
+(** Explicit-dependency (OSend) causal ordering; also the engine under
+    Psync conversations. *)
+module Osend_layer (P : PAYLOAD) :
+  S
+    with type t = P.t Causalb_core.Osend.t
+     and type below = P.t Causalb_core.Message.t
+     and type above = P.t Causalb_core.Message.t
+
+(** Sync-anchored deterministic merge (ASend, §5.2) over causal
+    deliveries. *)
+module Merge_layer (P : PAYLOAD) :
+  S
+    with type t = P.t Causalb_core.Asend.Merge.t
+     and type below = P.t Causalb_core.Message.t
+     and type above = P.t Causalb_core.Message.t
+
+(** Count-closed deterministic merge over causal deliveries. *)
+module Counted_layer (P : PAYLOAD) :
+  S
+    with type t = P.t Causalb_core.Asend.Counted.t
+     and type below = P.t Causalb_core.Message.t
+     and type above = P.t Causalb_core.Message.t

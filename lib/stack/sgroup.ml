@@ -1,0 +1,24 @@
+module Net = Causalb_net.Net
+
+type ('m, 'w) t = { net : 'w Net.t; members : 'm array }
+
+let create net ~member ~receive =
+  let members = Array.init (Net.nodes net) member in
+  Array.iteri
+    (fun node m -> Net.set_handler net node (fun ~src:_ w -> receive m w))
+    members;
+  { net; members }
+
+let net t = t.net
+
+let engine t = Net.engine t.net
+
+let size t = Array.length t.members
+
+let member t i = t.members.(i)
+
+let members t = t.members
+
+let fold f acc t = Array.fold_left f acc t.members
+
+let mapi f t = List.init (size t) (fun i -> f i t.members.(i))

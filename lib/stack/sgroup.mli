@@ -1,0 +1,35 @@
+(** Generic group wiring over the simulated network.
+
+    Every ordering engine in this repository used to repeat the same
+    dance: make one member per network node, close its delivery callback
+    over the node id and the virtual clock, and install a [Net] handler
+    routing arrivals into that member.  [Sgroup] is that dance, written
+    once, polymorphic in both the per-member state ['m] and the wire
+    envelope ['w].  The per-protocol [Group] wrappers in
+    [Causalb_core.{Fifo,Bss,Group,Psync}] and the pipeline builder in
+    [Causalb_stack.Stack] all delegate here. *)
+
+module Net := Causalb_net.Net
+
+type ('m, 'w) t
+
+val create :
+  'w Net.t -> member:(int -> 'm) -> receive:('m -> 'w -> unit) -> ('m, 'w) t
+(** [create net ~member ~receive] builds one member per node with
+    [member node] and installs [receive] as that node's network handler.
+    The network must not have other handlers on those nodes. *)
+
+val net : ('m, 'w) t -> 'w Net.t
+
+val engine : ('m, 'w) t -> Causalb_sim.Engine.t
+
+val size : ('m, 'w) t -> int
+
+val member : ('m, 'w) t -> int -> 'm
+
+val members : ('m, 'w) t -> 'm array
+(** The underlying array — do not mutate. *)
+
+val fold : ('acc -> 'm -> 'acc) -> 'acc -> ('m, 'w) t -> 'acc
+
+val mapi : (int -> 'm -> 'b) -> ('m, 'w) t -> 'b list

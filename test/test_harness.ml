@@ -51,7 +51,7 @@ let test_headline_ordering_holds () =
   let causal = Drivers.run_causal ~seed:11 ~replicas:5 small in
   let seq = Drivers.run_sequencer ~seed:11 ~replicas:5 small in
   let merge = Drivers.run_merge ~seed:11 ~replicas:5 small in
-  let m r = Stats.mean r.Drivers.delivery in
+  let m (r : Drivers.result) = Stats.mean r.Drivers.delivery in
   check "causal < sequencer" true (m causal < m seq);
   check "causal < merge" true (m causal < m merge)
 
@@ -66,6 +66,82 @@ let test_fixed_window_zero_is_all_sync () =
   let w = { Drivers.ops = 20; spacing = 0.5; mix = Drivers.Fixed_window 0 } in
   let r = Drivers.run_causal ~seed:15 ~replicas:3 w in
   check_int "every op a stable point" 21 r.Drivers.cycles
+
+(* --- the stack driver --- *)
+
+let windowed = { Drivers.ops = 48; spacing = 0.5; mix = Drivers.Fixed_window 5 }
+
+(* The acceptance shape of the stack refactor: ONE workload over every
+   composition, every run passing its checks and reporting the uniform
+   per-layer table. *)
+let test_run_stack_all_compositions_sound () =
+  List.iter
+    (fun spec ->
+      let r = Drivers.run_stack ~seed:21 ~replicas:4 spec windowed in
+      let name = Drivers.stack_spec_name spec in
+      check (name ^ " checks ok") true r.Drivers.checks_ok;
+      check (name ^ " has layers") true (List.length r.Drivers.layers >= 2);
+      check
+        (name ^ " positive makespan")
+        true (r.Drivers.sim_time > 0.0))
+    [
+      Drivers.Fifo_only;
+      Drivers.Bss_stack;
+      Drivers.Psync_stack;
+      Drivers.Osend_stack;
+      Drivers.Osend_merge;
+      Drivers.Osend_counted (windowed.Drivers.ops + 1);
+      Drivers.Osend_sequencer;
+    ]
+
+(* Same seed, same causal traffic: every broadcast-based composition puts
+   the identical number of copies on the wire, and the three with an
+   OSend causal layer force the identical number of waits there. *)
+let test_run_stack_same_wire_cost () =
+  let specs =
+    [
+      Drivers.Fifo_only;
+      Drivers.Bss_stack;
+      Drivers.Osend_stack;
+      Drivers.Osend_merge;
+    ]
+  in
+  let results =
+    List.map (fun s -> Drivers.run_stack ~seed:23 ~replicas:4 s windowed) specs
+  in
+  let msgs = List.map (fun r -> r.Drivers.messages) results in
+  check "identical wire cost" true (List.for_all (( = ) (List.hd msgs)) msgs);
+  let osend = Drivers.run_stack ~seed:23 ~replicas:4 Drivers.Osend_stack windowed in
+  let merge = Drivers.run_stack ~seed:23 ~replicas:4 Drivers.Osend_merge windowed in
+  check_int "merge adds no causal waits" osend.Drivers.buffered
+    merge.Drivers.buffered
+
+let test_run_stack_deterministic () =
+  let a = Drivers.run_stack ~seed:27 ~replicas:3 Drivers.Osend_merge windowed in
+  let b = Drivers.run_stack ~seed:27 ~replicas:3 Drivers.Osend_merge windowed in
+  check "same mean" true
+    (Stats.mean a.Drivers.delivery = Stats.mean b.Drivers.delivery);
+  check_int "same messages" a.Drivers.messages b.Drivers.messages;
+  check_int "same waits" a.Drivers.buffered b.Drivers.buffered
+
+let test_run_stack_layer_accounting () =
+  let r = Drivers.run_stack ~seed:29 ~replicas:4 Drivers.Osend_merge windowed in
+  (match r.Drivers.layers with
+  | [ transport; causal; total ] ->
+    Alcotest.(check string) "bottom" "transport"
+      transport.Causalb_stackbase.Metrics.name;
+    Alcotest.(check string) "middle" "causal:osend"
+      causal.Causalb_stackbase.Metrics.name;
+    Alcotest.(check string) "top" "total:merge"
+      total.Causalb_stackbase.Metrics.name;
+    (* every submission reaches every replica through every layer *)
+    check_int "transport delivered" ((windowed.Drivers.ops + 1) * 4)
+      transport.Causalb_stackbase.Metrics.delivered;
+    check_int "causal delivered" ((windowed.Drivers.ops + 1) * 4)
+      causal.Causalb_stackbase.Metrics.delivered;
+    check_int "total released" ((windowed.Drivers.ops + 1) * 4)
+      total.Causalb_stackbase.Metrics.delivered
+  | l -> Alcotest.failf "expected 3 layers, got %d" (List.length l))
 
 let () =
   Alcotest.run "harness"
@@ -82,5 +158,16 @@ let () =
           Alcotest.test_case "fixed window cycles" `Quick test_fixed_window_cycles;
           Alcotest.test_case "fixed window 0" `Quick
             test_fixed_window_zero_is_all_sync;
+        ] );
+      ( "stack driver",
+        [
+          Alcotest.test_case "all compositions sound" `Quick
+            test_run_stack_all_compositions_sound;
+          Alcotest.test_case "same wire cost" `Quick
+            test_run_stack_same_wire_cost;
+          Alcotest.test_case "deterministic" `Quick
+            test_run_stack_deterministic;
+          Alcotest.test_case "layer accounting" `Quick
+            test_run_stack_layer_accounting;
         ] );
     ]

@@ -329,6 +329,67 @@ let prop_merge_identical_orders =
       List.length (List.hd orders) = spont + 1
       && Checker.identical_orders orders)
 
+(* The interchangeability claim behind the stack's total-order layers:
+   over the same bracketed set, the sync-anchored Merge (sync fed last,
+   as causal delivery guarantees — the sync AND-depends on the whole set)
+   and the count-closed Counted release the IDENTICAL total order at
+   every member, whatever arrival permutation each member saw.  The sync
+   label is made the comparator's maximum so both mechanisms place it
+   last. *)
+let prop_merge_counted_agree_under_permutations =
+  let gen =
+    let open QCheck2.Gen in
+    int_range 1 12 >>= fun n ->
+    let spont_perm = shuffle_l (List.init n Fun.id) in
+    let all_perm = shuffle_l (List.init (n + 1) Fun.id) in
+    triple (return n) (list_repeat 3 spont_perm) (list_repeat 3 all_perm)
+  in
+  test "merge and counted: same total order under any arrival permutation"
+    ~count:200 gen
+    (fun (n, merge_perms, counted_perms) ->
+      let spont_label i = Label.make ~origin:(i mod 3) ~seq:(i / 3) () in
+      let spont =
+        List.init n (fun i ->
+            Message.make ~label:(spont_label i) ~sender:(i mod 3)
+              ~dep:Dep.null i)
+      in
+      let sync =
+        Message.make
+          ~label:(Label.make ~origin:999 ~seq:0 ())
+          ~sender:0
+          ~dep:(Dep.after_all (List.map Message.label spont))
+          (-1)
+      in
+      let all = spont @ [ sync ] in
+      let merge_orders =
+        List.map
+          (fun perm ->
+            let m =
+              Asend.Merge.create
+                ~is_sync:(fun m -> Causalb_core.Message.payload m = -1)
+                ()
+            in
+            List.iter
+              (fun i -> Asend.Merge.on_causal_deliver m (List.nth spont i))
+              perm;
+            Asend.Merge.on_causal_deliver m sync;
+            Asend.Merge.total_order m)
+          merge_perms
+      in
+      let counted_orders =
+        List.map
+          (fun perm ->
+            let c = Asend.Counted.create ~batch_size:(n + 1) () in
+            List.iter
+              (fun i -> Asend.Counted.on_causal_deliver c (List.nth all i))
+              perm;
+            Asend.Counted.total_order c)
+          counted_perms
+      in
+      let orders = merge_orders @ counted_orders in
+      List.for_all (fun o -> List.length o = n + 1) orders
+      && Checker.identical_orders orders)
+
 (* --- inference properties --- *)
 
 module Infer = Causalb_graph.Infer
@@ -525,7 +586,11 @@ let () =
         [ prop_osend_any_arrival_order_safe; prop_osend_graph_matches ] );
       ("group", [ prop_group_network_safety ]);
       ( "total-order",
-        [ prop_timestamp_identical_orders; prop_merge_identical_orders ] );
+        [
+          prop_timestamp_identical_orders;
+          prop_merge_identical_orders;
+          prop_merge_counted_agree_under_permutations;
+        ] );
       ( "inference",
         [
           prop_infer_sound_on_linearizations;
