@@ -34,7 +34,10 @@ let run () =
            "S1: stack compositions — %d replicas, %d ops, window 5"
            replicas workload.Drivers.ops)
       ~columns:
-        [ "composition"; "msgs"; "waits"; "rel p50"; "rel p95"; "checks" ]
+        [
+          "composition"; "msgs"; "waits"; "rel p50"; "rel p95"; "checks";
+          "oracle";
+        ]
   in
   let detail =
     Table.create
@@ -43,7 +46,18 @@ let run () =
   in
   List.iter
     (fun spec ->
-      let r = Drivers.run_stack ~seed:42 ~replicas spec workload in
+      (* [~check:true]: the offline oracle audits each bench trace — the
+         "oracle" column is its verdict over every applicable checker. *)
+      let r = Drivers.run_stack ~seed:42 ~replicas ~check:true spec workload in
+      let oracle =
+        match r.Drivers.audit with
+        | None -> "-"
+        | Some a ->
+          let nd = List.length a.Drivers.diagnostics in
+          let nl = List.length a.Drivers.lint in
+          if nd = 0 && nl = 0 then "ok"
+          else Printf.sprintf "%d diags, %d lint" nd nl
+      in
       Table.add_row summary
         [
           Drivers.stack_spec_name spec;
@@ -52,6 +66,7 @@ let run () =
           Exp_common.fmt (Exp_common.p50 r.Drivers.delivery);
           Exp_common.fmt (Exp_common.p95 r.Drivers.delivery);
           (if r.Drivers.checks_ok then "ok" else "FAILED");
+          oracle;
         ];
       List.iter
         (fun m ->

@@ -1,0 +1,272 @@
+(* causalb-check — the offline ordering oracle as a command.
+
+   Runs the §6.1 workload over every stack composition with tracing on,
+   feeds each trace to the checkers that soundly apply to that
+   composition, lints the dependency specification, and prints one
+   verdict line per composition (plus every diagnostic).  Exit status 1
+   when any check fails, so CI can gate on it:
+
+     causalb-check                          # all compositions, S1 params
+     causalb-check --spec osend --spec bss  # a subset
+     causalb-check --self-test              # seed violations, assert caught *)
+
+open Cmdliner
+
+module Drivers = Causalb_harness.Drivers
+module Trace = Causalb_sim.Trace
+module Label = Causalb_graph.Label
+module Depgraph = Causalb_graph.Depgraph
+module Latency = Causalb_sim.Latency
+module Diag = Causalb_check.Diag
+module Trace_check = Causalb_check.Trace_check
+module Spec_lint = Causalb_check.Spec_lint
+module Mutate = Causalb_check.Mutate
+
+let all_specs ops =
+  [
+    Drivers.Fifo_only;
+    Drivers.Bss_stack;
+    Drivers.Psync_stack;
+    Drivers.Osend_stack;
+    Drivers.Osend_merge;
+    Drivers.Osend_counted (ops + 1);
+    Drivers.Osend_sequencer;
+  ]
+
+let spec_of_string ops s =
+  match String.lowercase_ascii s with
+  | "fifo" -> Ok Drivers.Fifo_only
+  | "bss" -> Ok Drivers.Bss_stack
+  | "psync" -> Ok Drivers.Psync_stack
+  | "osend" -> Ok Drivers.Osend_stack
+  | "merge" | "osend+merge" -> Ok Drivers.Osend_merge
+  | "counted" | "osend+counted" -> Ok (Drivers.Osend_counted (ops + 1))
+  | "sequencer" | "osend+sequencer" -> Ok Drivers.Osend_sequencer
+  | _ ->
+    Error
+      (Printf.sprintf
+         "unknown composition %S (expected fifo|bss|psync|osend|merge|counted|sequencer)"
+         s)
+
+let checkers_for = function
+  | Drivers.Fifo_only | Drivers.Bss_stack -> "fifo, same-set"
+  | Drivers.Psync_stack -> "causal, same-set"
+  | Drivers.Osend_stack -> "causal, windows, stable"
+  | Drivers.Osend_merge | Drivers.Osend_counted _ | Drivers.Osend_sequencer ->
+    "causal, strict-order, stable"
+
+let audit_of ~seed ~latency ~replicas ~w spec =
+  let r = Drivers.run_stack ~seed ~latency ~check:true ~replicas spec w in
+  match r.Drivers.audit with
+  | Some a -> a
+  | None -> assert false (* run with ~check:true *)
+
+(* --- default mode: audit every composition --------------------------- *)
+
+let run_audits ~seed ~sigma ~replicas ~ops ~window ~spacing ~verbose specs =
+  let latency = Latency.lognormal ~mu:0.5 ~sigma () in
+  let w = { Drivers.ops; spacing; mix = Drivers.Fixed_window window } in
+  Printf.printf
+    "ordering oracle: replicas=%d ops=%d window=%d seed=%d sigma=%.2f\n\n"
+    replicas ops window seed sigma;
+  let audit spec =
+    let a = audit_of ~seed ~latency ~replicas ~w spec in
+    let nd = List.length a.Drivers.diagnostics in
+    let nl = List.length a.Drivers.lint in
+    let ok = nd = 0 && nl = 0 in
+    Printf.printf "%-18s [%-27s] trace=%-5d lint=%d  %s\n"
+      (Drivers.stack_spec_name spec)
+      (checkers_for spec)
+      (Trace.length a.Drivers.trace)
+      nl
+      (if ok then "ok" else Printf.sprintf "FAILED (%d diagnostics)" nd);
+    if verbose || not ok then begin
+      List.iter
+        (fun d -> print_endline ("    " ^ Diag.to_string d))
+        a.Drivers.diagnostics;
+      List.iter
+        (fun i -> print_endline ("    " ^ Spec_lint.issue_to_string i))
+        a.Drivers.lint
+    end;
+    ok
+  in
+  let oks = List.map audit specs in
+  print_newline ();
+  if List.for_all Fun.id oks then begin
+    print_endline "all compositions passed the ordering oracle";
+    0
+  end
+  else begin
+    print_endline "ordering violations found";
+    1
+  end
+
+(* --- self-test: seed violations, assert every checker objects -------- *)
+
+let self_test ~seed ~sigma ~replicas ~ops ~window ~spacing () =
+  let latency = Latency.lognormal ~mu:0.5 ~sigma () in
+  let w = { Drivers.ops; spacing; mix = Drivers.Fixed_window window } in
+  let audit_of = audit_of ~seed ~latency ~replicas ~w in
+  let failures = ref 0 in
+  let report name = function
+    | Ok detail -> Printf.printf "  %-34s caught: %s\n" name detail
+    | Error msg ->
+      incr failures;
+      Printf.printf "  %-34s NOT CAUGHT: %s\n" name msg
+  in
+  (* Plant one mutation, run one checker, demand a diagnostic. *)
+  let case name mutated check =
+    report name
+      (match mutated with
+      | None -> Error "no mutation site in this trace"
+      | Some mut -> (
+        match check mut with
+        | [] -> Error "checker accepted the mutated trace"
+        | d :: _ -> Ok (Diag.to_string d)))
+  in
+  print_endline
+    "self-test: seeding known violations, every checker must object";
+  let osend = audit_of Drivers.Osend_stack in
+  let merge = audit_of Drivers.Osend_merge in
+  let fifo = audit_of Drivers.Fifo_only in
+  let g a = a.Drivers.graph in
+  let tr a = a.Drivers.trace in
+  case "causal: delivery before ancestor"
+    (Option.map
+       (fun (t, _, _) -> t)
+       (Mutate.reorder_causal ~graph:(g osend) (tr osend)))
+    (Trace_check.causal ~graph:(g osend));
+  case "fifo: inverted sender order"
+    (Option.map
+       (fun (t, _, _) -> t)
+       (Mutate.reorder_fifo ~graph:(g fifo) (tr fifo)))
+    (Trace_check.fifo ~graph:(g fifo));
+  case "total-order: diverging release"
+    (Option.map
+       (fun (t, _, _) -> t)
+       (Mutate.reorder_release ~graph:(g merge) (tr merge)))
+    (Trace_check.total_order ~strict:true ~graph:(g merge)
+       ~sync:Label.Set.empty);
+  case "windows: release past sync point"
+    (Option.map
+       (fun (t, _, _) -> t)
+       (Mutate.reorder_release ~sync:osend.Drivers.sync ~graph:(g osend)
+          (tr osend)))
+    (Trace_check.total_order ~graph:(g osend) ~sync:osend.Drivers.sync);
+  case "stable-point: corrupted digest"
+    (Option.map (fun (t, _) -> t) (Mutate.corrupt_mark (tr merge)))
+    Trace_check.stable_points;
+  (* The specification bug: a label every predicate still names is gone. *)
+  let graph = g osend in
+  let victim =
+    List.find_map
+      (fun l -> match Depgraph.parents graph l with p :: _ -> Some p | [] -> None)
+      (Depgraph.labels graph)
+  in
+  report "lint: dropped dependency label"
+    (match victim with
+    | None -> Error "no label with a parent in the graph"
+    | Some v -> (
+      match Spec_lint.lint (Mutate.drop_label graph v) with
+      | [] -> Error "lint accepted the broken specification"
+      | i :: _ -> Ok (Spec_lint.issue_to_string i)));
+  print_newline ();
+  if !failures = 0 then begin
+    print_endline "self-test passed: every seeded violation was caught";
+    0
+  end
+  else begin
+    Printf.printf "self-test FAILED: %d violation(s) escaped the oracle\n"
+      !failures;
+    1
+  end
+
+(* --- command line ----------------------------------------------------- *)
+
+let seed =
+  let doc = "Random seed for the deterministic simulation." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let sigma =
+  let doc = "Lognormal latency sigma (link variance)." in
+  Arg.(value & opt float 1.0 & info [ "sigma" ] ~docv:"S" ~doc)
+
+let replicas =
+  let doc = "Group size." in
+  Arg.(value & opt int 4 & info [ "replicas" ] ~docv:"N" ~doc)
+
+let ops =
+  let doc = "Operations in the workload (a closing sync is appended)." in
+  Arg.(value & opt int 200 & info [ "ops" ] ~docv:"K" ~doc)
+
+let window =
+  let doc = "Commutative operations per \xc2\xa76.1 cycle." in
+  Arg.(value & opt int 5 & info [ "window" ] ~docv:"W" ~doc)
+
+let spacing =
+  let doc = "Milliseconds between submissions." in
+  Arg.(value & opt float 0.5 & info [ "spacing" ] ~docv:"MS" ~doc)
+
+let verbose =
+  let doc = "Print diagnostics even for passing compositions." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+let self_test_flag =
+  let doc =
+    "Run the mutation harness instead: plant one known violation per \
+     checker (reordered delivery, inverted sender order, diverging \
+     release, corrupted stable-point digest, dropped dependency label) \
+     and fail unless every one is caught."
+  in
+  Arg.(value & flag & info [ "self-test" ] ~doc)
+
+let spec_args =
+  let doc =
+    "Composition(s) to audit: fifo, bss, psync, osend, merge, counted, \
+     sequencer.  Repeatable; default all."
+  in
+  Arg.(value & opt_all string [] & info [ "spec" ] ~docv:"SPEC" ~doc)
+
+let main seed sigma replicas ops window spacing verbose self specs =
+  if self then self_test ~seed ~sigma ~replicas ~ops ~window ~spacing ()
+  else
+    let chosen =
+      if specs = [] then Ok (all_specs ops)
+      else
+        List.fold_right
+          (fun s acc ->
+            match (spec_of_string ops s, acc) with
+            | Ok spec, Ok rest -> Ok (spec :: rest)
+            | Error e, _ -> Error e
+            | _, (Error _ as e) -> e)
+          specs (Ok [])
+    in
+    match chosen with
+    | Error msg ->
+      prerr_endline ("causalb-check: " ^ msg);
+      2
+    | Ok specs ->
+      run_audits ~seed ~sigma ~replicas ~ops ~window ~spacing ~verbose specs
+
+let cmd =
+  let doc = "offline ordering oracle for the causalb stack compositions" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs the \xc2\xa76.1 workload over the ordering-stack compositions \
+         with tracing enabled, then audits each trace offline: causal \
+         delivery against the extracted $(b,R(M)) graph, FIFO per sender, \
+         window or strict release agreement, and stable-point digests. \
+         The intended dependency specification is linted statically. Any \
+         violation prints a structured diagnostic and sets the exit \
+         status to 1.";
+    ]
+  in
+  let info = Cmd.info "causalb-check" ~version:"%%VERSION%%" ~doc ~man in
+  Cmd.v info
+    Term.(
+      const main $ seed $ sigma $ replicas $ ops $ window $ spacing $ verbose
+      $ self_test_flag $ spec_args)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,38 @@
+module Trace = Causalb_sim.Trace
+module Label = Causalb_graph.Label
+
+type t = {
+  check : string;
+  node : int option;
+  summary : string;
+  records : Trace.record list;
+  chain : Label.t list;
+}
+
+let make ~check ?node ?(records = []) ?(chain = []) summary =
+  { check; node; summary; records; chain }
+
+let pp ppf d =
+  Format.fprintf ppf "@[<v2>[%s]%s %s" d.check
+    (match d.node with
+    | None -> ""
+    | Some n -> Printf.sprintf " node %d:" n)
+    d.summary;
+  List.iter (fun r -> Format.fprintf ppf "@,| %a" Trace.pp_record r) d.records;
+  (match d.chain with
+  | [] -> ()
+  | chain ->
+    Format.fprintf ppf "@,causal chain: %s"
+      (String.concat " -> " (List.map Label.to_string chain)));
+  Format.fprintf ppf "@]"
+
+let pp_list ppf ds =
+  Format.fprintf ppf "@[<v>";
+  List.iteri
+    (fun i d ->
+      if i > 0 then Format.fprintf ppf "@,";
+      pp ppf d)
+    ds;
+  Format.fprintf ppf "@]"
+
+let to_string d = Format.asprintf "%a" pp d

@@ -1,0 +1,31 @@
+(** Structured checker diagnostics.
+
+    Every trace checker and the spec lint report violations as values of
+    {!t}: which check fired, at which node, the offending trace records,
+    and — when the dependency graph knows one — the minimal causal chain
+    connecting the violated ordering constraint. *)
+
+type t = {
+  check : string;          (** checker name, e.g. ["causal"], ["lint:cycle"] *)
+  node : int option;       (** the member the violation was observed at *)
+  summary : string;        (** one-line human description *)
+  records : Causalb_sim.Trace.record list;
+      (** the offending trace records, in trace order *)
+  chain : Causalb_graph.Label.t list;
+      (** minimal dependency chain [ancestor → … → descendant] behind the
+          violated constraint; empty when no graph path applies *)
+}
+
+val make :
+  check:string ->
+  ?node:int ->
+  ?records:Causalb_sim.Trace.record list ->
+  ?chain:Causalb_graph.Label.t list ->
+  string ->
+  t
+
+val pp : Format.formatter -> t -> unit
+
+val pp_list : Format.formatter -> t list -> unit
+
+val to_string : t -> string

@@ -1,0 +1,127 @@
+module Label = Causalb_graph.Label
+module Dep = Causalb_graph.Dep
+module Depgraph = Causalb_graph.Depgraph
+
+type issue =
+  | Dangling of { label : Label.t; missing : Label.t }
+  | Cycle of Label.t list
+  | Redundant_edge of { label : Label.t; ancestor : Label.t; via : Label.t }
+  | Dead_alternative of {
+      label : Label.t;
+      alt : Label.t;
+      implied_by : Label.t;
+    }
+  | Unsatisfiable of { label : Label.t; missing : Label.t list }
+
+let issue_name = function
+  | Dangling _ -> "lint:dangling"
+  | Cycle _ -> "lint:cycle"
+  | Redundant_edge _ -> "lint:redundant-edge"
+  | Dead_alternative _ -> "lint:dead-alternative"
+  | Unsatisfiable _ -> "lint:unsatisfiable"
+
+let pp_issue ppf = function
+  | Dangling { label; missing } ->
+    Format.fprintf ppf "%a names %a, which no send defines" Label.pp label
+      Label.pp missing
+  | Cycle path ->
+    Format.fprintf ppf "dependency cycle: %s"
+      (String.concat " -> " (List.map Label.to_string path))
+  | Redundant_edge { label; ancestor; via } ->
+    Format.fprintf ppf
+      "%a -> %a is transitively redundant (already implied via %a)" Label.pp
+      ancestor Label.pp label Label.pp via
+  | Dead_alternative { label; alt; implied_by } ->
+    Format.fprintf ppf
+      "alternative %a of %a can never fire first: %a always precedes it"
+      Label.pp alt Label.pp label Label.pp implied_by
+  | Unsatisfiable { label; missing } ->
+    Format.fprintf ppf
+      "%a can never be delivered — it waits on %s; every descendant \
+       deadlocks with it"
+      Label.pp label
+      (String.concat ", " (List.map Label.to_string missing))
+
+let issue_to_string i = Format.asprintf "%a" pp_issue i
+
+let to_diag i =
+  Diag.make ~check:(issue_name i)
+    ~chain:
+      (match i with
+      | Dangling { label; missing } -> [ missing; label ]
+      | Cycle path -> path
+      | Redundant_edge { label; ancestor; via } -> [ ancestor; via; label ]
+      | Dead_alternative { label; alt; implied_by } ->
+        [ implied_by; alt; label ]
+      | Unsatisfiable { label; missing } -> missing @ [ label ])
+    (issue_to_string i)
+
+(* A send is unsatisfiable when its wait can never complete no matter
+   what else is delivered: an AND-ancestor that no send defines, or an
+   OR whose every alternative is undefined.  (Cyclic waits are also
+   unsatisfiable but reported once, as the cycle.) *)
+let unsatisfiable g l =
+  let dep = Depgraph.dep_of g l in
+  let missing = Depgraph.missing_parents g l in
+  match dep with
+  | Dep.Null -> None
+  | Dep.After _ | Dep.After_all _ ->
+    if missing = [] then None else Some missing
+  | Dep.After_any alts ->
+    if missing <> [] && List.length missing = List.length alts then
+      Some missing
+    else None
+
+let lint g =
+  let issues = ref [] in
+  let add i = issues := i :: !issues in
+  (match Depgraph.find_cycle g with
+  | Some path -> add (Cycle path)
+  | None -> ());
+  List.iter
+    (fun l ->
+      let dep = Depgraph.dep_of g l in
+      List.iter
+        (fun missing -> add (Dangling { label = l; missing }))
+        (Depgraph.missing_parents g l);
+      (match unsatisfiable g l with
+      | Some missing -> add (Unsatisfiable { label = l; missing })
+      | None -> ());
+      match dep with
+      | Dep.Null | Dep.After _ -> ()
+      | Dep.After_all _ ->
+        (* Direct edge a -> l is redundant when another parent already
+           transitively requires a: the wait is implied. *)
+        let parents = Depgraph.parents g l in
+        List.iter
+          (fun a ->
+            match
+              List.find_opt
+                (fun p ->
+                  (not (Label.equal p a))
+                  && Label.Set.mem a (Depgraph.ancestors g p))
+                parents
+            with
+            | Some via -> add (Redundant_edge { label = l; ancestor = a; via })
+            | None -> ())
+          parents
+      | Dep.After_any alts ->
+        (* An alternative that happens-after another alternative can
+           never be the one that fires: by the time it is delivered the
+           earlier alternative already satisfied the OR. *)
+        let present = List.filter (Depgraph.mem g) alts in
+        List.iter
+          (fun b ->
+            match
+              List.find_opt
+                (fun a ->
+                  (not (Label.equal a b)) && Depgraph.happens_before g a b)
+                present
+            with
+            | Some a -> add (Dead_alternative { label = l; alt = b; implied_by = a })
+            | None -> ())
+          present)
+    (Depgraph.labels g);
+  List.rev !issues
+
+let to_diags issues = List.map to_diag issues

@@ -53,7 +53,29 @@ let create engine ~replicas:n ~machine ?latency ?fifo ?fault ?trace () =
         | None -> ()
       in
       List.iter (fun (l, _) -> record l) cycle.Replica.window;
-      record (fst cycle.Replica.closed_by)
+      record (fst cycle.Replica.closed_by);
+      (* Stable-point digest: the window set, the closing sync and the
+         agreed state — the quantities §6.1 says every member must agree
+         on.  The offline checker compares these Mark records across
+         replicas. *)
+      match trace with
+      | None -> ()
+      | Some tr ->
+        let window =
+          List.sort compare
+            (List.map (fun (l, _) -> Label.to_string l) cycle.Replica.window)
+        in
+        let digest =
+          Hashtbl.hash
+            ( window,
+              Label.to_string (fst cycle.Replica.closed_by),
+              Hashtbl.hash cycle.Replica.end_state )
+        in
+        Causalb_sim.Trace.record tr ~time:now ~node:id
+          ~kind:Causalb_sim.Trace.Mark
+          ~tag:(Printf.sprintf "stable:%d" cycle.Replica.index)
+          ~info:(Printf.sprintf "digest=%08x" (digest land 0xffffffff))
+          ()
     in
     Replica.create ~id ~machine ~on_stable ()
   in

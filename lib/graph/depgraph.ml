@@ -90,6 +90,65 @@ let ancestors g l = reachable parents g l
 
 let descendants g l = reachable children g l
 
+let missing_parents g l =
+  List.filter (fun a -> not (mem g a)) (Dep.ancestors (dep_of g l))
+
+(* [add] only rejects self-loops: a predicate may name a label added
+   later, and a later predicate may point back — the static lint needs to
+   find the resulting cycles (they deadlock delivery).  Iterative DFS
+   with a grey set; returns one cycle as a label path. *)
+let find_cycle g =
+  let state = Label.Tbl.create g.n in (* 0 = grey, 1 = black *)
+  let cycle = ref None in
+  let rec visit path l =
+    if !cycle = None then
+      match Label.Tbl.find_opt state l with
+      | Some 1 -> ()
+      | Some _ ->
+        (* grey: [l] is on the current path — the cycle is the path
+           suffix starting at its previous occurrence *)
+        let rec suffix = function
+          | [] -> []
+          | x :: rest ->
+            if Label.equal x l then [ x ] else x :: suffix rest
+        in
+        cycle := Some (List.rev (l :: suffix path))
+      | None ->
+        Label.Tbl.replace state l 0;
+        List.iter (visit (l :: path)) (parents g l);
+        Label.Tbl.replace state l 1
+  in
+  List.iter (fun l -> if !cycle = None then visit [] l) (labels g);
+  !cycle
+
+let shortest_path g a b =
+  if not (mem g a && mem g b) then None
+  else if Label.equal a b then Some [ a ]
+  else begin
+    let prev = Label.Tbl.create 16 in
+    let queue = Queue.create () in
+    Queue.add a queue;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty queue) do
+      let x = Queue.pop queue in
+      List.iter
+        (fun c ->
+          if (not (Label.Tbl.mem prev c)) && not (Label.equal c a) then begin
+            Label.Tbl.replace prev c x;
+            if Label.equal c b then found := true else Queue.add c queue
+          end)
+        (children g x)
+    done;
+    if not !found then None
+    else begin
+      let rec build acc x =
+        if Label.equal x a then x :: acc
+        else build (x :: acc) (Label.Tbl.find prev x)
+      in
+      Some (build [] b)
+    end
+  end
+
 let happens_before g a b =
   (not (Label.equal a b)) && Label.Set.mem b (descendants g a)
 

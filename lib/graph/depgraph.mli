@@ -41,6 +41,23 @@ val ancestors : t -> Label.t -> Label.Set.t
 
 val descendants : t -> Label.t -> Label.Set.t
 
+val missing_parents : t -> Label.t -> Label.t list
+(** Labels named by the predicate of [l] that are absent from the graph —
+    dangling dependencies a static lint flags (a message naming one can
+    never be delivered until the missing send appears). *)
+
+val find_cycle : t -> Label.t list option
+(** One dependency cycle, as a label path with the first label repeated
+    at the end, or [None] when the graph is acyclic.  Cycles can arise
+    because {!add} accepts forward references: a predicate may name a
+    label that is only added later with a predicate pointing back.  A
+    cyclic wait is unsatisfiable — every message on it deadlocks. *)
+
+val shortest_path : t -> Label.t -> Label.t -> Label.t list option
+(** Shortest directed dependency chain [a → … → b] including both
+    endpoints — the minimal causal chain the checkers attach to a
+    violation diagnostic.  [None] when [b] is not a descendant of [a]. *)
+
 val happens_before : t -> Label.t -> Label.t -> bool
 (** [happens_before g a b] iff there is a directed path [a → … → b]. *)
 

@@ -259,6 +259,19 @@ let stack_spec_name = function
   | Osend_counted n -> Printf.sprintf "osend+counted(%d)" n
   | Osend_sequencer -> "osend+sequencer"
 
+(* Everything the offline ordering oracle needs to audit one run: the
+   trace, the dependency graph the delivery order is checked against
+   (extracted from member 0 when the causal layer builds one, else the
+   graph the front-end intended), the synchronization points, and the
+   verdicts. *)
+type stack_audit = {
+  trace : Causalb_sim.Trace.t;
+  graph : Causalb_graph.Depgraph.t;
+  sync : Label.Set.t;
+  diagnostics : Causalb_check.Diag.t list;
+  lint : Causalb_check.Spec_lint.issue list;
+}
+
 type stack_result = {
   delivery : Stats.t;   (* submit -> app release *)
   messages : int;
@@ -266,6 +279,7 @@ type stack_result = {
   layers : Metrics.t list;
   checks_ok : bool;
   sim_time : float;
+  audit : stack_audit option;  (* present under [~check:true] *)
 }
 
 let op_is_sync op =
@@ -273,8 +287,8 @@ let op_is_sync op =
   | Dt.Int_register.Read | Dt.Int_register.Set _ -> true
   | Dt.Int_register.Inc _ | Dt.Int_register.Dec _ -> false
 
-let run_stack ?(seed = 42) ?(latency = default_latency) ~replicas spec w :
-    stack_result =
+let run_stack ?(seed = 42) ?(latency = default_latency) ?(check = false)
+    ~replicas spec w : stack_result =
   let engine = Engine.create ~seed () in
   let ordering, total =
     match spec with
@@ -291,20 +305,71 @@ let run_stack ?(seed = 42) ?(latency = default_latency) ~replicas spec w :
      the label is allocated later (sequencer). *)
   let issue = Hashtbl.create 256 in
   let lat = Stats.create () in
-  let on_deliver ~node:_ ~time msg =
+  let trace = if check then Some (Causalb_sim.Trace.create ()) else None in
+  (* Stable-point trackers, one per member, fed the application release
+     sequence: each closed §6.1 cycle leaves a [Mark] record whose digest
+     covers the window set and the closing sync, for the offline
+     stable-point checker to compare across members.  Only attached where
+     the causal layer actually enforces the §6.1 dependency pattern
+     (OSend); under FIFO/BSS a sync can overtake its window, so cycles
+     are not stable points there. *)
+  let track_stable =
+    check
+    &&
+    match spec with
+    | Osend_stack | Osend_merge | Osend_counted _ | Osend_sequencer -> true
+    | Fifo_only | Bss_stack | Psync_stack -> false
+  in
+  let module Sp = Causalb_core.Stable_points in
+  let trackers =
+    if not track_stable then None
+    else
+      Some
+        (Array.init replicas (fun node ->
+             let on_stable (p : Sp.point) =
+               match trace with
+               | None -> ()
+               | Some tr ->
+                 let window =
+                   List.sort compare (List.map Label.to_string p.Sp.window)
+                 in
+                 let digest =
+                   Hashtbl.hash (window, Label.to_string p.Sp.closed_by)
+                 in
+                 Causalb_sim.Trace.record tr ~time:(Engine.now engine) ~node
+                   ~kind:Causalb_sim.Trace.Mark
+                   ~tag:(Printf.sprintf "stable:%d" p.Sp.cycle)
+                   ~info:(Printf.sprintf "digest=%08x" (digest land 0xffffffff))
+                   ()
+             in
+             Sp.create
+               ~classify:(fun m ->
+                 if op_is_sync (Message.payload m) then Sp.Sync
+                 else Sp.Concurrent)
+               ~on_stable ()))
+  in
+  let on_deliver ~node ~time msg =
+    (match trackers with
+    | Some ts -> Sp.on_deliver ts.(node) msg
+    | None -> ());
     match Hashtbl.find_opt issue (Label.name (Message.label msg)) with
     | Some t0 -> Stats.add lat (time -. t0)
     | None -> ()
   in
   let stack =
-    Stack.compose ~ordering ~total ~latency ~fifo:false ~on_deliver engine
-      ~nodes:replicas ()
+    Stack.compose ~ordering ~total ~latency ~fifo:false ?trace ~on_deliver
+      engine ~nodes:replicas ()
   in
   (* The §6.1 front-end dependency pattern, driven through the stack:
      commutative ops follow the last sync; a sync AND-closes the window.
      Layers that infer their own ordering ignore the predicate. *)
   let last_sync = ref None in
   let window = ref [] in
+  (* The dependency graph the front-end intends, and its sync points —
+     the specification the oracle lints and (for engines that do not
+     extract their own graph) audits delivery against. *)
+  let intended = Causalb_graph.Depgraph.create () in
+  let sync_labels = ref Label.Set.empty in
   let submit_op i op =
     let name = Printf.sprintf "op%d" i in
     let after_sync () =
@@ -320,7 +385,9 @@ let run_stack ?(seed = 42) ?(latency = default_latency) ~replicas spec w :
     match Stack.submit stack ~src:(i mod replicas) ~name ~dep op with
     | None -> ()
     | Some label ->
+      if check then Causalb_graph.Depgraph.add intended label ~dep;
       if op_is_sync op then begin
+        sync_labels := Label.Set.add label !sync_labels;
         last_sync := Some label;
         window := []
       end
@@ -350,6 +417,49 @@ let run_stack ?(seed = 42) ?(latency = default_latency) ~replicas spec w :
         else acc)
       0 layers
   in
+  (* The offline oracle: which checkers soundly apply depends on the
+     composition.  The front-end submits on schedule without waiting for
+     delivery, so only the explicit-graph engines (OSend, Psync) can be
+     held to the causal predicate — audited against the graph member 0
+     extracted from the messages themselves.  FIFO/BSS answer for
+     per-sender order only; the total-order tails answer for identical
+     release sequences; OSend compositions also answer for stable-point
+     digests. *)
+  let audit =
+    match trace with
+    | None -> None
+    | Some tr ->
+      let graph =
+        match Stack.graph stack with Some g -> g | None -> intended
+      in
+      let sync = !sync_labels in
+      let module C = Causalb_check.Trace_check in
+      let none = Label.Set.empty in
+      let diagnostics =
+        match spec with
+        | Fifo_only | Bss_stack ->
+          C.fifo ~graph tr @ C.total_order ~graph ~sync:none tr
+        | Psync_stack ->
+          C.causal ~graph tr @ C.total_order ~graph ~sync:none tr
+        | Osend_stack ->
+          C.causal ~graph tr
+          @ C.total_order ~graph ~sync tr
+          @ C.stable_points tr
+        | Osend_merge | Osend_counted _ | Osend_sequencer ->
+          C.causal ~graph tr
+          @ C.total_order ~strict:true ~graph ~sync:none tr
+          @ C.stable_points tr
+      in
+      let lint = Causalb_check.Spec_lint.lint intended in
+      Some { trace = tr; graph; sync; diagnostics; lint }
+  in
+  let checks_ok =
+    checks_ok
+    &&
+    match audit with
+    | None -> true
+    | Some a -> a.diagnostics = [] && a.lint = []
+  in
   {
     delivery = lat;
     messages = Stack.messages_sent stack;
@@ -357,6 +467,7 @@ let run_stack ?(seed = 42) ?(latency = default_latency) ~replicas spec w :
     layers;
     checks_ok;
     sim_time = Engine.now engine;
+    audit;
   }
 
 let p50 s = Stats.percentile s 50.0

@@ -72,19 +72,39 @@ type stack_spec =
 
 val stack_spec_name : stack_spec -> string
 
+(** One run's evidence for the offline ordering oracle
+    ([Causalb_check]): the execution trace, the dependency graph the
+    delivery order was audited against (member 0's extracted [R(M)] for
+    OSend/Psync, the front-end's intended graph otherwise), the
+    synchronization points, and the verdicts. *)
+type stack_audit = {
+  trace : Causalb_sim.Trace.t;
+  graph : Causalb_graph.Depgraph.t;
+  sync : Causalb_graph.Label.Set.t;
+  diagnostics : Causalb_check.Diag.t list;
+      (** trace-checker violations; empty = every applicable property held *)
+  lint : Causalb_check.Spec_lint.issue list;
+      (** static issues in the intended dependency specification *)
+}
+
 type stack_result = {
   delivery : Causalb_util.Stats.t;  (** submit → application release *)
   messages : int;                   (** unicast copies on the wire *)
   buffered : int;   (** forced waits in the causal layer, all members *)
   layers : Causalb_stackbase.Metrics.t list;
       (** uniform per-layer metrics, bottom-up *)
-  checks_ok : bool; (** same-set (causal) / identical-order (total) *)
+  checks_ok : bool;
+      (** same-set (causal) / identical-order (total); under [~check:true]
+          also requires an empty {!stack_audit.diagnostics} and
+          {!stack_audit.lint} *)
   sim_time : float;
+  audit : stack_audit option;  (** present iff run with [~check:true] *)
 }
 
 val run_stack :
   ?seed:int ->
   ?latency:Causalb_sim.Latency.t ->
+  ?check:bool ->
   replicas:int ->
   stack_spec ->
   workload ->
@@ -92,7 +112,14 @@ val run_stack :
 (** Run the same §6.1-style workload as the standalone drivers over any
     stack composition.  Deterministic in all arguments; on equal seeds
     the delivery counts and forced-wait numbers of each composition match
-    the corresponding standalone driver. *)
+    the corresponding standalone driver.
+
+    [~check:true] (default false) turns on the ordering oracle: the run
+    is traced, the checkers that soundly apply to the composition are run
+    over the trace (causal safety for the explicit-graph engines, FIFO
+    per sender for FIFO/BSS, window or strict agreement per total layer,
+    stable-point digests for OSend compositions), the intended dependency
+    spec is linted, and the evidence is returned in [audit]. *)
 
 (** {1 Reporting helpers} *)
 

@@ -8,25 +8,72 @@ type record = {
   info : string;
 }
 
-type t = { mutable items : record list; mutable n : int }
+(* Records live in a growable array so that scanning a large trace (the
+   offline checkers walk every record, often several times) allocates
+   nothing: the old reversed-list representation forced a full List.rev
+   on every [events] call. *)
+type t = { mutable items : record array; mutable n : int }
 
-let create ?capacity:_ () = { items = []; n = 0 }
+let dummy = { time = 0.0; node = -1; kind = Send; tag = ""; info = "" }
+
+let create ?(capacity = 64) () =
+  { items = Array.make (max 1 capacity) dummy; n = 0 }
 
 let record t ~time ~node ~kind ~tag ?(info = "") () =
-  t.items <- { time; node; kind; tag; info } :: t.items;
+  if t.n = Array.length t.items then begin
+    let bigger = Array.make (2 * Array.length t.items) dummy in
+    Array.blit t.items 0 bigger 0 t.n;
+    t.items <- bigger
+  end;
+  t.items.(t.n) <- { time; node; kind; tag; info };
   t.n <- t.n + 1
 
 let length t = t.n
 
-let events t = List.rev t.items
+let get t i =
+  if i < 0 || i >= t.n then invalid_arg "Trace.get: index out of range";
+  t.items.(i)
 
-let filter t p = List.filter p (events t)
+let iter t f =
+  for i = 0 to t.n - 1 do
+    f t.items.(i)
+  done
 
+let fold t ~init ~f =
+  let acc = ref init in
+  for i = 0 to t.n - 1 do
+    acc := f !acc t.items.(i)
+  done;
+  !acc
+
+let events t = List.init t.n (fun i -> t.items.(i))
+
+let filter t p =
+  List.rev (fold t ~init:[] ~f:(fun acc r -> if p r then r :: acc else acc))
+
+(* Both [Deliver] (causal layer) and [Release] (a total-order layer
+   releasing a buffered message, or the stack's application hand-off)
+   mark a message reaching the node's application path; surfacing both
+   gives checkers and metrics the release->deliver pairing. *)
 let deliveries_at t node =
-  filter t (fun r -> r.node = node && r.kind = Deliver)
-  |> List.map (fun r -> (r.time, r.tag))
+  List.rev
+    (fold t ~init:[] ~f:(fun acc r ->
+         if r.node = node && (r.kind = Deliver || r.kind = Release) then
+           (r.time, r.tag) :: acc
+         else acc))
 
-let delivery_order t node = List.map snd (deliveries_at t node)
+let tags_of_kind t node kind =
+  List.rev
+    (fold t ~init:[] ~f:(fun acc r ->
+         if r.node = node && r.kind = kind then r.tag :: acc else acc))
+
+let delivery_order t node =
+  (* The application-visible order: when a total-order layer released
+     messages at this node, its [Release] sequence is what the app saw;
+     otherwise fall back to the causal [Deliver] sequence. *)
+  match tags_of_kind t node Release with
+  | [] -> tags_of_kind t node Deliver
+  | releases -> releases
 
 let find_delivery t ~node ~tag =
   List.find_map
@@ -41,12 +88,12 @@ let kind_to_string = function
   | Drop -> "drop"
   | Mark -> "mark"
 
+let pp_record ppf r =
+  Format.fprintf ppf "%10.3f n%d %s %s%s" r.time r.node
+    (kind_to_string r.kind) r.tag
+    (if r.info = "" then "" else " " ^ r.info)
+
 let pp ppf t =
   Format.fprintf ppf "@[<v>";
-  List.iter
-    (fun r ->
-      Format.fprintf ppf "%10.3f n%d %s %s%s@," r.time r.node
-        (kind_to_string r.kind) r.tag
-        (if r.info = "" then "" else " " ^ r.info))
-    (events t);
+  iter t (fun r -> Format.fprintf ppf "%a@," pp_record r);
   Format.fprintf ppf "@]"

@@ -3,13 +3,17 @@
     Engines and protocols append timestamped records; verifiers and the
     experiment harness read them back.  A trace is append-only and cheap
     enough to leave enabled in benchmarks (it is the measurement source,
-    not an afterthought). *)
+    not an afterthought).  Records are stored in a growable array, so the
+    scan functions ({!iter}, {!fold}) allocate nothing per record — the
+    offline checkers of [Causalb_check] walk full bench traces with
+    them. *)
 
 type kind =
   | Send        (** message handed to the transport *)
   | Receive     (** message arrived at a node, pre-ordering *)
-  | Deliver     (** message released to the application *)
-  | Release     (** a total-order layer released a buffered message *)
+  | Deliver     (** message released by the causal layer *)
+  | Release     (** a total-order layer (or the stack's application
+                    hand-off) released a buffered message *)
   | Drop        (** fault injection removed the message *)
   | Mark        (** free-form protocol milestone (stable point, lock grant …) *)
 
@@ -30,6 +34,18 @@ val record : t -> time:float -> node:int -> kind:kind -> tag:string ->
 
 val length : t -> int
 
+val get : t -> int -> record
+(** The [i]-th record in recording order.
+    @raise Invalid_argument when out of range. *)
+
+val iter : t -> (record -> unit) -> unit
+(** Apply to every record in recording order, without materialising the
+    record list. *)
+
+val fold : t -> init:'acc -> f:('acc -> record -> 'acc) -> 'acc
+(** Fold over records in recording order, without materialising the
+    record list. *)
+
 val events : t -> record list
 (** In recording order (which equals virtual-time order when produced by
     one engine). *)
@@ -37,13 +53,24 @@ val events : t -> record list
 val filter : t -> (record -> bool) -> record list
 
 val deliveries_at : t -> int -> (float * string) list
-(** [(time, tag)] of every [Deliver] at the given node, in order. *)
+(** [(time, tag)] of every [Deliver] {e and} [Release] at the given node,
+    in order.  Total-order layers release buffered messages with a
+    separate [Release] record, so a message that passed through one
+    appears twice: once when the causal layer delivered it and once when
+    the total-order layer released it — the pairing the checkers and the
+    layer metrics need. *)
 
 val delivery_order : t -> int -> string list
+(** Tags in the order the application saw them at the node: the [Release]
+    sequence when the node recorded any (a total-order layer or the stack
+    released messages there), otherwise the causal [Deliver] sequence. *)
 
 val find_delivery : t -> node:int -> tag:string -> float option
-(** Virtual time at which the node delivered the tagged message. *)
+(** Virtual time at which the node first delivered/released the tagged
+    message. *)
 
 val kind_to_string : kind -> string
+
+val pp_record : Format.formatter -> record -> unit
 
 val pp : Format.formatter -> t -> unit

@@ -84,6 +84,14 @@ let release t ~node ~time msg =
 
 let causal_deliver t ~node ~time msg =
   record_latency t.send_time t.causal_latency ~time (Message.label msg);
+  (* The OSend group records its own [Deliver] events; the other causal
+     layers do not, so the stack records them here — every composition
+     then produces the same trace shape for the offline checkers. *)
+  (match (t.trace, t.impl) with
+  | Some tr, (I_fifo _ | I_bss _ | I_psync _) ->
+    Trace.record tr ~time ~node ~kind:Trace.Deliver
+      ~tag:(Label.to_string (Message.label msg)) ()
+  | _ -> ());
   match t.totals.(node) with
   | T_pass -> release t ~node ~time msg
   | T_merge m -> Asend.Merge.on_causal_deliver m msg
@@ -286,6 +294,12 @@ let osend_group t =
   match t.impl with
   | I_osend { group; _ } -> Some group
   | I_fifo _ | I_bss _ | I_psync _ -> None
+
+let graph t =
+  match t.impl with
+  | I_psync p -> Some (Osend.graph (Psync.member p 0))
+  | I_osend { group; _ } -> Some (Osend.graph (Ogroup.member group 0))
+  | I_fifo _ | I_bss _ -> None
 
 let partition t cells = t.do_partition cells
 

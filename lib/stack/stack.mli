@@ -105,6 +105,12 @@ val osend_group : 'a t -> 'a Causalb_core.Group.t option
 (** The underlying OSend group when [ordering = Osend] — recovery
     protocols (and tests) use it to re-inject lost labelled messages. *)
 
+val graph : 'a t -> Causalb_graph.Depgraph.t option
+(** The dependency graph member 0's causal engine extracted from the
+    messages it has seen — the [R(M)] the offline checkers audit delivery
+    against.  [Some] for the engines that build one (OSend, Psync), [None]
+    for FIFO/BSS, which never name ancestors.  Do not mutate. *)
+
 val partition : 'a t -> int list list -> unit
 (** Partition the underlying network (see {!Causalb_net.Net.partition}). *)
 
