@@ -27,6 +27,8 @@ let experiments : (string * string * (unit -> unit)) list =
     ("A4", "ablation: OR-dependency (first-response) extension", Exp_a4.run);
     ("S1", "ordering stack: one workload over every composition", Exp_s1.run);
     ("micro", "bechamel micro-benchmarks of the hot paths", Micro.run);
+    ("scaling", "seed list-scan vs indexed wakeup queues (writes BENCH_PR3.json)",
+     Scaling.run);
   ]
 
 let () =

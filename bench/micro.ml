@@ -160,6 +160,73 @@ let bench_workflow_graph =
   Test.make ~name:"t2.workflow-graph64"
     (Staged.stage (fun () -> ignore (Causalb_data.Workflow.graph_of steps)))
 
+(* scale family: the wakeup-index hot paths at a size where the seed's
+   pool sweep was already measurably quadratic.  The full before/after
+   ladder (64/512/4096, vs the frozen seed engines) lives in the
+   "scaling" experiment; these keep a mid-size point in the regular
+   bechamel run so index regressions show up without the JSON gate. *)
+let bench_scale_osend_wide =
+  let children =
+    Array.init 256 (fun i ->
+        Message.make ~label:(lbl i) ~sender:0
+          ~dep:(Dep.after (Label.make ~origin:9 ~seq:0 ())) 0)
+  in
+  let independent =
+    Array.init 256 (fun i ->
+        Message.make ~label:(lbl (256 + i)) ~sender:1 ~dep:Dep.null 0)
+  in
+  let root =
+    Message.make ~label:(Label.make ~origin:9 ~seq:0 ()) ~sender:2
+      ~dep:Dep.null 0
+  in
+  Test.make ~name:"scale.osend-wide512"
+    (Staged.stage (fun () ->
+         let m = Osend.create ~id:0 () in
+         Array.iter (Osend.receive m) children;
+         Array.iter (Osend.receive m) independent;
+         Osend.receive m root))
+
+let bench_scale_osend_chain =
+  let msgs =
+    Array.init 512 (fun i ->
+        Message.make ~label:(lbl i) ~sender:0
+          ~dep:(if i = 0 then Dep.null else Dep.after (lbl (i - 1)))
+          0)
+  in
+  Test.make ~name:"scale.osend-chain512"
+    (Staged.stage (fun () ->
+         let m = Osend.create ~id:0 () in
+         for i = 511 downto 0 do
+           Osend.receive m msgs.(i)
+         done))
+
+let bench_scale_bss_chain =
+  let envs =
+    Array.init 512 (fun i ->
+        {
+          Bss.sender = 1;
+          stamp = Vc.of_array [| 0; i + 1 |];
+          tag = "";
+          payload = 0;
+        })
+  in
+  Test.make ~name:"scale.bss-chain512"
+    (Staged.stage (fun () ->
+         let m = Bss.member ~id:0 ~group_size:2 () in
+         for i = 511 downto 0 do
+           Bss.receive m envs.(i)
+         done))
+
+let bench_scale_counted_batch =
+  let msgs =
+    Array.init 512 (fun i ->
+        Message.make ~label:(lbl i) ~sender:(i mod 8) ~dep:Dep.null i)
+  in
+  Test.make ~name:"scale.counted-batch512"
+    (Staged.stage (fun () ->
+         let m = Asend.Counted.create ~batch_size:512 () in
+         Array.iter (Asend.Counted.on_causal_deliver m) msgs))
+
 let all_tests =
   [
     bench_osend_fan;
@@ -172,6 +239,10 @@ let all_tests =
     bench_timestamp_member;
     bench_infer;
     bench_workflow_graph;
+    bench_scale_osend_wide;
+    bench_scale_osend_chain;
+    bench_scale_bss_chain;
+    bench_scale_counted_batch;
   ]
 
 let run () =
@@ -180,8 +251,16 @@ let run () =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
   let instances = Instance.[ monotonic_clock ] in
+  (* CI smoke runs shrink the per-test budget via the same knob as the
+     scaling experiment *)
+  let quota_s =
+    match Sys.getenv_opt "CAUSALB_BENCH_QUOTA_MS" with
+    | Some s -> ( try max 1 (int_of_string s) with _ -> 500) |> fun ms ->
+        float_of_int ms /. 1000.0
+    | None -> 0.5
+  in
   let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second quota_s) ~kde:(Some 1000) ()
   in
   let grouped = Test.make_grouped ~name:"causalb" all_tests in
   let raw = Benchmark.all cfg instances grouped in

@@ -1,0 +1,246 @@
+(* Scaling benchmarks for the reverse-indexed wakeup queues.
+
+   Every shape is measured twice inside this one binary: "before" drives
+   the frozen seed list-scan engine from [Causalb_reference], "after"
+   drives the indexed engine from [Causalb_core], on identical message
+   arrays.  That keeps the comparison honest (same compiler, same
+   allocator state, same inputs) and lets CI regenerate the numbers in
+   one run.
+
+   Shapes, per engine:
+   - [osend.chain]  — an N-message dependency chain arriving in reverse:
+     everything parks on the missing head, then one receive releases the
+     whole chain.  The seed sweeps the shrinking pool once per link
+     (O(N^2)); the index wakes each link directly (O(N)).
+   - [osend.wide]   — N/2 messages parked on one missing root while N/2
+     independent messages deliver through: each independent delivery made
+     the seed rescan the whole parked pool (O(N^2/4)); the index wakes
+     nobody.  The root arrives last and releases the fan.
+   - [bss.chain]    — one origin's vector-stamped sequence arriving in
+     reverse; same pool-sweep vs bucket cascade contrast.
+   - [counted.batch] — an N-message Counted bracket: the seed walked the
+     buffer length on every insert (O(N^2) per bracket); the maintained
+     size counter leaves one stable sort at the close.
+
+   Results go to a table on stdout and to a machine-readable JSON file
+   (default [BENCH_PR3.json], override with CAUSALB_BENCH_OUT).  Each row
+   is {name; n; before_ns; after_ns; speedup}.  The n=64 rows double as
+   the no-regression guard for small workloads; the n=4096 wide-fan row
+   is the headline the PR gates on.  CAUSALB_BENCH_QUOTA_MS shrinks the
+   per-measurement budget for CI smoke runs. *)
+
+module Label = Causalb_graph.Label
+module Dep = Causalb_graph.Dep
+module Vc = Causalb_clock.Vector_clock
+module Message = Causalb_core.Message
+module Osend = Causalb_core.Osend
+module Bss = Causalb_core.Bss
+module Asend = Causalb_core.Asend
+module Rosend = Causalb_reference.Osend
+module Rbss = Causalb_reference.Bss
+module Rasend = Causalb_reference.Asend
+
+let quota_ms =
+  match Sys.getenv_opt "CAUSALB_BENCH_QUOTA_MS" with
+  | Some s -> ( try max 1 (int_of_string s) with _ -> 200)
+  | None -> 200
+
+(* Adaptive CPU timing: double the repetition count until one batch fills
+   the quota, then report ns per run.  One warm-up run is discarded. *)
+let time_ns f =
+  f ();
+  let quota = float_of_int quota_ms /. 1000.0 in
+  let rec go reps =
+    let t0 = Sys.time () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    let dt = Sys.time () -. t0 in
+    if dt >= quota then dt /. float_of_int reps *. 1e9 else go (reps * 2)
+  in
+  go 1
+
+let lbl i = Label.make ~origin:(i mod 8) ~seq:(i / 8) ()
+
+let root_lbl = Label.make ~origin:9 ~seq:0 ()
+
+(* --- shape inputs, built once per size outside the timed region --- *)
+
+let chain_msgs n =
+  Array.init n (fun i ->
+      Message.make ~label:(lbl i) ~sender:0
+        ~dep:(if i = 0 then Dep.null else Dep.after (lbl (i - 1)))
+        0)
+
+(* first half: fan children of the missing root; second half: independent
+   traffic delivered while the fan is parked; root last *)
+let wide_msgs n =
+  let half = n / 2 in
+  let children =
+    Array.init half (fun i ->
+        Message.make ~label:(lbl i) ~sender:0 ~dep:(Dep.after root_lbl) 0)
+  in
+  let independent =
+    Array.init (n - half) (fun i ->
+        Message.make ~label:(lbl (half + i)) ~sender:1 ~dep:Dep.null 0)
+  in
+  let root = Message.make ~label:root_lbl ~sender:2 ~dep:Dep.null 0 in
+  (children, independent, root)
+
+let bss_envs n =
+  Array.init n (fun i ->
+      {
+        Bss.sender = 1;
+        stamp = Vc.of_array [| 0; i + 1 |];
+        tag = "";
+        payload = 0;
+      })
+
+let counted_msgs n =
+  Array.init n (fun i ->
+      Message.make ~label:(lbl i) ~sender:(i mod 8) ~dep:Dep.null i)
+
+(* --- the before/after pairs --- *)
+
+let osend_chain n =
+  let msgs = chain_msgs n in
+  let before () =
+    let m = Rosend.create ~id:0 () in
+    for i = n - 1 downto 0 do
+      Rosend.receive m msgs.(i)
+    done
+  in
+  let after () =
+    let m = Osend.create ~id:0 () in
+    for i = n - 1 downto 0 do
+      Osend.receive m msgs.(i)
+    done
+  in
+  (before, after)
+
+let osend_wide n =
+  let children, independent, root = wide_msgs n in
+  let before () =
+    let m = Rosend.create ~id:0 () in
+    Array.iter (Rosend.receive m) children;
+    Array.iter (Rosend.receive m) independent;
+    Rosend.receive m root
+  in
+  let after () =
+    let m = Osend.create ~id:0 () in
+    Array.iter (Osend.receive m) children;
+    Array.iter (Osend.receive m) independent;
+    Osend.receive m root
+  in
+  (before, after)
+
+let bss_chain n =
+  let envs = bss_envs n in
+  let before () =
+    let m = Rbss.member ~id:0 ~group_size:2 () in
+    for i = n - 1 downto 0 do
+      Rbss.receive m envs.(i)
+    done
+  in
+  let after () =
+    let m = Bss.member ~id:0 ~group_size:2 () in
+    for i = n - 1 downto 0 do
+      Bss.receive m envs.(i)
+    done
+  in
+  (before, after)
+
+let counted_batch n =
+  let msgs = counted_msgs n in
+  let before () =
+    let m = Rasend.Counted.create ~batch_size:n () in
+    Array.iter (Rasend.Counted.on_causal_deliver m) msgs
+  in
+  let after () =
+    let m = Asend.Counted.create ~batch_size:n () in
+    Array.iter (Asend.Counted.on_causal_deliver m) msgs
+  in
+  (before, after)
+
+let shapes =
+  [
+    ("osend.chain", osend_chain);
+    ("osend.wide", osend_wide);
+    ("bss.chain", bss_chain);
+    ("counted.batch", counted_batch);
+  ]
+
+let sizes = [ 64; 512; 4096 ]
+
+type row = {
+  name : string;
+  n : int;
+  before_ns : float;
+  after_ns : float;
+}
+
+let speedup r = r.before_ns /. r.after_ns
+
+let json_of_rows rows =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"bench\": \"indexed wakeup queues\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"quota_ms\": %d,\n" quota_ms);
+  Buffer.add_string buf "  \"rows\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"name\": %S, \"n\": %d, \"before_ns\": %.0f, \
+            \"after_ns\": %.0f, \"speedup\": %.2f}%s\n"
+           r.name r.n r.before_ns r.after_ns (speedup r)
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  Buffer.contents buf
+
+let run () =
+  print_endline
+    "\n================ scaling: seed list-scan vs indexed ================";
+  Printf.printf "(per-measurement quota: %d ms)\n%!" quota_ms;
+  let rows =
+    List.concat_map
+      (fun (name, make) ->
+        List.map
+          (fun n ->
+            let before, after = make n in
+            let before_ns = time_ns before in
+            let after_ns = time_ns after in
+            let r = { name; n; before_ns; after_ns } in
+            Printf.printf "  %-14s n=%-5d before=%12.0fns after=%12.0fns \
+                           speedup=%6.2fx\n%!"
+              name n before_ns after_ns (speedup r);
+            r)
+          sizes)
+      shapes
+  in
+  let t =
+    Causalb_util.Table.create ~title:"scaling (ns per workload run)"
+      ~columns:[ "shape"; "n"; "before"; "after"; "speedup" ]
+  in
+  List.iter
+    (fun r ->
+      Causalb_util.Table.add_row t
+        [
+          r.name;
+          string_of_int r.n;
+          Causalb_util.Table.fmt_float ~digits:0 r.before_ns;
+          Causalb_util.Table.fmt_float ~digits:0 r.after_ns;
+          Printf.sprintf "%.2fx" (speedup r);
+        ])
+    rows;
+  Causalb_util.Table.print t;
+  let out =
+    Option.value ~default:"BENCH_PR3.json"
+      (Sys.getenv_opt "CAUSALB_BENCH_OUT")
+  in
+  let oc = open_out out in
+  output_string oc (json_of_rows rows);
+  close_out oc;
+  Printf.printf "wrote %s\n%!" out

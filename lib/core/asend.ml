@@ -4,15 +4,22 @@ module Latency = Causalb_sim.Latency
 module Engine = Causalb_sim.Engine
 module Net = Causalb_net.Net
 module Metrics = Causalb_stackbase.Metrics
+module Heap = Causalb_util.Heap
 
 let default_compare a b = Label.compare (Message.label a) (Message.label b)
 
+(* Merge/Counted buffer in reversed arrival order and stable-sort once
+   when the bracket closes (the seed's behaviour); the buffer size is a
+   maintained counter, so the per-insert [List.length] walk and the
+   length recomputation in the accessors are gone.  Timestamp, whose seed
+   re-sorted the whole buffer on *every* insert, moves to a heap. *)
 module Merge = struct
   type 'a t = {
     is_sync : 'a Message.t -> bool;
     compare : 'a Message.t -> 'a Message.t -> int;
     deliver : 'a Message.t -> unit;
     mutable buffer : 'a Message.t list;
+    mutable size : int;
     mutable order_rev : Label.t list;
     mutable batches : int;
     metrics : Metrics.t;
@@ -25,6 +32,7 @@ module Merge = struct
       compare;
       deliver;
       buffer = [];
+      size = 0;
       order_rev = [];
       batches = 0;
       metrics = Metrics.create ~name:"total:merge" ();
@@ -40,6 +48,7 @@ module Merge = struct
     if t.is_sync msg then begin
       let batch = List.sort t.compare (List.rev t.buffer) in
       t.buffer <- [];
+      t.size <- 0;
       t.batches <- t.batches + 1;
       List.iter
         (fun m ->
@@ -51,18 +60,17 @@ module Merge = struct
     end
     else begin
       Metrics.on_buffer t.metrics;
-      t.buffer <- msg :: t.buffer
+      t.buffer <- msg :: t.buffer;
+      t.size <- t.size + 1
     end
 
   let total_order t = List.rev t.order_rev
 
-  let buffered t = List.length t.buffer
+  let buffered t = t.size
 
   let batches t = t.batches
 
-  let metrics t =
-    t.metrics.Metrics.buffered <- List.length t.buffer;
-    t.metrics
+  let metrics t = t.metrics
 end
 
 module Counted = struct
@@ -71,6 +79,7 @@ module Counted = struct
     compare : 'a Message.t -> 'a Message.t -> int;
     deliver : 'a Message.t -> unit;
     mutable buffer : 'a Message.t list;
+    mutable size : int;
     mutable order_rev : Label.t list;
     mutable batches : int;
     metrics : Metrics.t;
@@ -85,6 +94,7 @@ module Counted = struct
       compare;
       deliver;
       buffer = [];
+      size = 0;
       order_rev = [];
       batches = 0;
       metrics = Metrics.create ~name:"total:counted" ();
@@ -99,27 +109,29 @@ module Counted = struct
     Metrics.on_receive t.metrics;
     (* the batch-completing arrival is released immediately; everything
        before it in the bracket had to wait *)
-    if List.length t.buffer + 1 = t.batch_size then begin
+    if t.size + 1 = t.batch_size then begin
       let batch = List.sort t.compare (List.rev (msg :: t.buffer)) in
-      List.iter (fun _ -> Metrics.on_unbuffer t.metrics) t.buffer;
+      for _ = 1 to t.size do
+        Metrics.on_unbuffer t.metrics
+      done;
       t.buffer <- [];
+      t.size <- 0;
       t.batches <- t.batches + 1;
       List.iter (release t) batch
     end
     else begin
       Metrics.on_buffer t.metrics;
-      t.buffer <- msg :: t.buffer
+      t.buffer <- msg :: t.buffer;
+      t.size <- t.size + 1
     end
 
   let total_order t = List.rev t.order_rev
 
-  let buffered t = List.length t.buffer
+  let buffered t = t.size
 
   let batches t = t.batches
 
-  let metrics t =
-    t.metrics.Metrics.buffered <- List.length t.buffer;
-    t.metrics
+  let metrics t = t.metrics
 end
 
 module Timestamp = struct
@@ -133,7 +145,7 @@ module Timestamp = struct
     id : int;
     mutable clock : Lamport.t;
     mutable heard : Lamport.t array; (* highest clock heard per peer *)
-    mutable buffer : 'a item list;   (* sorted by (ts, sender) *)
+    buffer : 'a item Heap.t;         (* min (ts, sender) first *)
     mutable delivered_rev : string list;
   }
 
@@ -161,15 +173,15 @@ module Timestamp = struct
     !ok
 
   let rec drain t st =
-    match st.buffer with
-    | item :: rest when covered st item ->
-      st.buffer <- rest;
+    match Heap.peek st.buffer with
+    | Some item when covered st item ->
+      ignore (Heap.pop st.buffer);
       st.delivered_rev <- item.tag :: st.delivered_rev;
       t.on_deliver ~node:st.id
         ~time:(Engine.now (Net.engine t.net))
         ~tag:item.tag item.payload;
       drain t st
-    | _ :: _ | [] -> ()
+    | Some _ | None -> ()
 
   let send_ack t st =
     st.clock <- Lamport.tick st.clock;
@@ -181,7 +193,7 @@ module Timestamp = struct
     | Data item ->
       st.clock <- Lamport.receive ~local:st.clock ~remote:item.ts;
       st.heard.(item.sender) <- item.ts;
-      st.buffer <- List.sort item_compare (item :: st.buffer);
+      Heap.push st.buffer item;
       (* the ack tells everyone our clock passed this timestamp *)
       send_ack t st;
       drain t st
@@ -199,7 +211,7 @@ module Timestamp = struct
             id;
             clock = Lamport.zero;
             heard = Array.make n Lamport.zero;
-            buffer = [];
+            buffer = Heap.create ~cmp:item_compare ();
             delivered_rev = [];
           })
     in
@@ -214,13 +226,13 @@ module Timestamp = struct
     st.clock <- Lamport.tick st.clock;
     let item = { ts = st.clock; sender = src; tag; payload } in
     st.heard.(src) <- st.clock;
-    st.buffer <- List.sort item_compare (item :: st.buffer);
+    Heap.push st.buffer item;
     Net.broadcast t.net ~src ~self:false (Data item);
     drain t st
 
   let delivered_tags t node = List.rev t.stations.(node).delivered_rev
 
-  let pending t node = List.length t.stations.(node).buffer
+  let pending t node = Heap.length t.stations.(node).buffer
 
   let acks_sent t = t.acks
 end

@@ -3,8 +3,20 @@ module Net = Causalb_net.Net
 module Engine = Causalb_sim.Engine
 module Metrics = Causalb_stackbase.Metrics
 module Sgroup = Causalb_stackbase.Sgroup
+module Fqueue = Causalb_util.Fqueue
 
 type 'a envelope = { sender : int; stamp : Vc.t; tag : string; payload : 'a }
+
+(* A buffered envelope waits on per-origin counter thresholds: the
+   sender's component must be reached exactly ([delivered.(s) = V.(s)-1])
+   and every other component at least ([delivered.(k) >= V.(k)]).  Each
+   unmet threshold is one registration in the reverse index; [unmet]
+   counts registrations still unfired. *)
+type 'a waiter = {
+  env : 'a envelope;
+  arrival : int;
+  mutable unmet : int;
+}
 
 type 'a member = {
   id : int;
@@ -12,7 +24,11 @@ type 'a member = {
   deliver : 'a envelope -> unit;
   mutable delivered : int array; (* per-origin delivered count *)
   mutable own_sends : int;
-  mutable pending : 'a envelope list; (* arrival order, reversed *)
+  waiting : (int * int, 'a waiter Fqueue.t) Hashtbl.t;
+      (* (origin, value) -> waiters woken when delivered.(origin)
+         reaches value; counters move by one, so each bucket fires
+         exactly once *)
+  mutable arrivals : int;
   mutable tags_rev : string list;
   metrics : Metrics.t;
 }
@@ -25,7 +41,8 @@ let member ~id ~group_size ?(deliver = fun _ -> ()) () =
     deliver;
     delivered = Array.make group_size 0;
     own_sends = 0;
-    pending = [];
+    waiting = Hashtbl.create 64;
+    arrivals = 0;
     tags_rev = [];
     metrics = Metrics.create ~name:"causal:bss" ();
   }
@@ -37,24 +54,76 @@ let deliverable t (e : 'a envelope) =
   done;
   !ok
 
-let do_deliver t e =
-  t.delivered.(e.sender) <- t.delivered.(e.sender) + 1;
+let wake t key woken =
+  (* empty-index guard: on fully-deliverable traffic no one is parked,
+     and the per-delivery key allocation + lookup would be pure overhead *)
+  if Hashtbl.length t.waiting = 0 then ()
+  else
+    match Hashtbl.find_opt t.waiting key with
+    | None -> ()
+    | Some bucket ->
+    Hashtbl.remove t.waiting key;
+    Fqueue.iter
+      (fun w ->
+        if w.unmet > 0 then begin
+          w.unmet <- w.unmet - 1;
+          if w.unmet = 0 then woken := w :: !woken
+        end)
+      bucket
+
+let do_deliver t woken e =
+  let v = t.delivered.(e.sender) + 1 in
+  t.delivered.(e.sender) <- v;
   t.tags_rev <- e.tag :: t.tags_rev;
   Metrics.on_deliver t.metrics;
-  t.deliver e
+  t.deliver e;
+  wake t (e.sender, v) woken
 
-let rec drain t =
-  let pending = List.rev t.pending in
-  let ready, blocked = List.partition (deliverable t) pending in
-  if ready <> [] then begin
-    t.pending <- List.rev blocked;
+(* Generation cascade, bit-identical to the seed's repeated pool sweep.
+   Readiness is evaluated against generation-start state before any of
+   the generation delivers (the seed partitioned first, then released),
+   and releases follow arrival order.  A candidate that is no longer
+   deliverable had its sender-equality overshot by a duplicate — the
+   seed kept such envelopes pending forever, so it is dropped from the
+   index but stays in the buffered count. *)
+let rec drain t woken =
+  match woken with
+  | [] -> ()
+  | gen ->
+    let gen = List.sort (fun a b -> Int.compare a.arrival b.arrival) gen in
+    let ready = List.filter (fun w -> deliverable t w.env) gen in
+    let next = ref [] in
     List.iter
-      (fun e ->
+      (fun w ->
         Metrics.on_unbuffer t.metrics;
-        do_deliver t e)
+        do_deliver t next w.env)
       ready;
-    drain t
-  end
+    drain t !next
+
+let park t e =
+  Metrics.on_buffer t.metrics;
+  let arrival = t.arrivals in
+  t.arrivals <- arrival + 1;
+  let w = { env = e; arrival; unmet = 0 } in
+  let register key =
+    w.unmet <- w.unmet + 1;
+    let bucket =
+      match Hashtbl.find_opt t.waiting key with
+      | Some q -> q
+      | None ->
+        let q = Fqueue.create () in
+        Hashtbl.add t.waiting key q;
+        q
+    in
+    Fqueue.push bucket w
+  in
+  let s = e.sender in
+  if t.delivered.(s) < Vc.get e.stamp s - 1 then
+    register (s, Vc.get e.stamp s - 1);
+  for k = 0 to t.n - 1 do
+    if k <> s && t.delivered.(k) < Vc.get e.stamp k then
+      register (k, Vc.get e.stamp k)
+  done
 
 let receive t e =
   Metrics.on_receive t.metrics;
@@ -62,25 +131,21 @@ let receive t e =
      count) are discarded. *)
   if Vc.get e.stamp e.sender <= t.delivered.(e.sender) then ()
   else if deliverable t e then begin
-    do_deliver t e;
-    drain t
+    let woken = ref [] in
+    do_deliver t woken e;
+    drain t !woken
   end
-  else begin
-    Metrics.on_buffer t.metrics;
-    t.pending <- e :: t.pending
-  end
+  else park t e
 
 let delivered_tags t = List.rev t.tags_rev
 
 let delivered_count t = t.metrics.Metrics.delivered
 
-let pending_count t = List.length t.pending
+let pending_count t = t.metrics.Metrics.buffered
 
 let buffered_ever t = t.metrics.Metrics.forced_waits
 
-let metrics t =
-  t.metrics.Metrics.buffered <- List.length t.pending;
-  t.metrics
+let metrics t = t.metrics
 
 let clock t =
   (* Own component counts own sends (each send ticks it); the other

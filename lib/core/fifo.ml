@@ -2,14 +2,20 @@ module Net = Causalb_net.Net
 module Engine = Causalb_sim.Engine
 module Metrics = Causalb_stackbase.Metrics
 module Sgroup = Causalb_stackbase.Sgroup
+module Fqueue = Causalb_util.Fqueue
 
 type 'a envelope = { sender : int; seq : int; tag : string; payload : 'a }
+
+type 'a waiter = { env : 'a envelope; arrival : int }
 
 type 'a member = {
   id : int;
   deliver : 'a envelope -> unit;
   next_seq : int array; (* expected next per origin *)
-  mutable pending : 'a envelope list;
+  waiting : (int * int, 'a waiter Fqueue.t) Hashtbl.t;
+      (* (origin, seq) -> copies parked until next_seq.(origin) reaches
+         seq; the contiguous-sequence bucket replaces the pool rescan *)
+  mutable arrivals : int;
   mutable tags_rev : string list;
   metrics : Metrics.t;
 }
@@ -20,55 +26,89 @@ let member ~id ~group_size ?(deliver = fun _ -> ()) () =
     id;
     deliver;
     next_seq = Array.make group_size 0;
-    pending = [];
+    waiting = Hashtbl.create 64;
+    arrivals = 0;
     tags_rev = [];
     metrics = Metrics.create ~name:"causal:fifo" ();
   }
 
 let deliverable t e = e.seq = t.next_seq.(e.sender)
 
-let do_deliver t e =
-  t.next_seq.(e.sender) <- e.seq + 1;
+(* Advancing an origin's cursor to [v] wakes the copies parked on
+   (origin, v). *)
+let wake t key woken =
+  (* empty-index guard: in-order traffic parks nothing, and the
+     per-delivery key allocation + lookup would be pure overhead *)
+  if Hashtbl.length t.waiting = 0 then ()
+  else
+    match Hashtbl.find_opt t.waiting key with
+    | None -> ()
+    | Some bucket ->
+    Hashtbl.remove t.waiting key;
+    Fqueue.iter (fun w -> woken := w :: !woken) bucket
+
+let do_deliver t woken e =
+  if t.next_seq.(e.sender) <> e.seq + 1 then begin
+    t.next_seq.(e.sender) <- e.seq + 1;
+    wake t (e.sender, e.seq + 1) woken
+  end;
   t.tags_rev <- e.tag :: t.tags_rev;
   Metrics.on_deliver t.metrics;
   t.deliver e
 
-let rec drain t =
-  let pending = List.rev t.pending in
-  let ready, blocked = List.partition (deliverable t) pending in
-  if ready <> [] then begin
-    t.pending <- List.rev blocked;
+(* Generation cascade, bit-identical to the seed's repeated pool sweep:
+   readiness is evaluated at generation start (so duplicate copies of the
+   expected sequence number all release, as the list-scan did), releases
+   follow arrival order, and each release wakes only the bucket of the
+   sequence number it exposes. *)
+let rec drain t woken =
+  match woken with
+  | [] -> ()
+  | gen ->
+    let gen = List.sort (fun a b -> Int.compare a.arrival b.arrival) gen in
+    let ready = List.filter (fun w -> deliverable t w.env) gen in
+    let next = ref [] in
     List.iter
-      (fun e ->
+      (fun w ->
         Metrics.on_unbuffer t.metrics;
-        do_deliver t e)
+        do_deliver t next w.env)
       ready;
-    drain t
-  end
+    drain t !next
+
+let park t e =
+  Metrics.on_buffer t.metrics;
+  let arrival = t.arrivals in
+  t.arrivals <- arrival + 1;
+  let key = (e.sender, e.seq) in
+  let bucket =
+    match Hashtbl.find_opt t.waiting key with
+    | Some q -> q
+    | None ->
+      let q = Fqueue.create () in
+      Hashtbl.add t.waiting key q;
+      q
+  in
+  Fqueue.push bucket { env = e; arrival }
 
 let receive t e =
   Metrics.on_receive t.metrics;
   if e.seq < t.next_seq.(e.sender) then () (* duplicate *)
   else if deliverable t e then begin
-    do_deliver t e;
-    drain t
+    let woken = ref [] in
+    do_deliver t woken e;
+    drain t !woken
   end
-  else begin
-    Metrics.on_buffer t.metrics;
-    t.pending <- e :: t.pending
-  end
+  else park t e
 
 let delivered_tags t = List.rev t.tags_rev
 
 let delivered_count t = t.metrics.Metrics.delivered
 
-let pending_count t = List.length t.pending
+let pending_count t = t.metrics.Metrics.buffered
 
 let buffered_ever t = t.metrics.Metrics.forced_waits
 
-let metrics t =
-  t.metrics.Metrics.buffered <- List.length t.pending;
-  t.metrics
+let metrics t = t.metrics
 
 module Group = struct
   type 'a t = {

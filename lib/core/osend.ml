@@ -2,13 +2,32 @@ module Label = Causalb_graph.Label
 module Dep = Causalb_graph.Dep
 module Depgraph = Causalb_graph.Depgraph
 module Metrics = Causalb_stackbase.Metrics
+module Fqueue = Causalb_util.Fqueue
+
+(* A buffered message plus its wakeup bookkeeping.  [unmet] counts the
+   ancestors still undelivered (1 for an [After_any] predicate, which is
+   satisfied by whichever alternative fires first); when it reaches zero
+   the waiter joins the next delivery generation.  [released] tombstones
+   the waiter for bucket entries that fire after it has already been
+   released through another alternative. *)
+type 'a waiter = {
+  wmsg : 'a Message.t;
+  arrival : int; (* buffer order: the delivery tie-break *)
+  mutable unmet : int;
+  mutable released : bool;
+}
 
 type 'a t = {
   id : int;
   deliver : 'a Message.t -> unit;
-  mutable delivered : Label.Set.t;
+  delivered : unit Label.Tbl.t;
   mutable delivered_rev : Label.t list;
-  mutable pending_rev : 'a Message.t list;
+  waiting : 'a waiter Fqueue.t Label.Tbl.t;
+      (* reverse index: unmet ancestor label -> waiters parked on it;
+         the whole bucket is consumed when the ancestor delivers, so a
+         delivery wakes exactly the messages that were waiting on it *)
+  parked : 'a waiter Label.Tbl.t; (* pending registry, by message label *)
+  mutable arrivals : int;
   graph : Depgraph.t;
   seen : unit Label.Tbl.t; (* every label ever received *)
   metrics : Metrics.t;
@@ -18,9 +37,11 @@ let create ~id ?(deliver = fun _ -> ()) () =
   {
     id;
     deliver;
-    delivered = Label.Set.empty;
+    delivered = Label.Tbl.create 64;
     delivered_rev = [];
-    pending_rev = [];
+    waiting = Label.Tbl.create 64;
+    parked = Label.Tbl.create 64;
+    arrivals = 0;
     graph = Depgraph.create ();
     seen = Label.Tbl.create 64;
     metrics = Metrics.create ~name:"causal:osend" ();
@@ -28,33 +49,94 @@ let create ~id ?(deliver = fun _ -> ()) () =
 
 let id t = t.id
 
-let is_delivered t l = Label.Set.mem l t.delivered
+let is_delivered t l = Label.Tbl.mem t.delivered l
 
 let deliverable t msg =
   Dep.satisfied ~delivered:(fun l -> is_delivered t l) (Message.dep msg)
 
-let do_deliver t msg =
-  t.delivered <- Label.Set.add (Message.label msg) t.delivered;
+(* Consume the bucket of [l]: every waiter parked on it loses one unmet
+   ancestor; those reaching zero join [woken] — the candidates for the
+   next delivery generation. *)
+let wake t l woken =
+  (* empty-index guard: on fully-deliverable traffic no one is parked,
+     and the per-delivery lookup would be pure overhead *)
+  if Label.Tbl.length t.waiting = 0 then ()
+  else
+    match Label.Tbl.find_opt t.waiting l with
+    | None -> ()
+    | Some bucket ->
+    Label.Tbl.remove t.waiting l;
+    Fqueue.iter
+      (fun w ->
+        if (not w.released) && w.unmet > 0 then begin
+          w.unmet <- w.unmet - 1;
+          if w.unmet = 0 then woken := w :: !woken
+        end)
+      bucket
+
+let do_deliver t woken msg =
+  Label.Tbl.replace t.delivered (Message.label msg) ();
   t.delivered_rev <- Message.label msg :: t.delivered_rev;
   Metrics.on_deliver t.metrics;
-  t.deliver msg
+  t.deliver msg;
+  wake t (Message.label msg) woken
 
-(* After a delivery, repeatedly sweep the pending pool: releasing one
-   message may satisfy the predicates of others.  The sweep preserves
-   arrival order among simultaneously unblocked messages, which keeps the
-   engine deterministic given a deterministic transport. *)
-let rec drain_pending t =
-  let pending = List.rev t.pending_rev in
-  let ready, blocked = List.partition (deliverable t) pending in
-  if ready <> [] then begin
-    t.pending_rev <- List.rev blocked;
+(* Deliver the wakeup cascade in generations: a generation is every
+   waiter unblocked by the previous one, released in arrival order.
+   This reproduces the seed engine's repeated pool sweep (ready set
+   evaluated at pass start, released in arrival order, repeat) while
+   touching only the messages actually waiting on each delivery —
+   amortized O(outstanding edges) instead of O(pending) per delivery.
+   The list-scan original survives as the test/bench oracle in
+   [Causalb_reference]. *)
+let rec drain t woken =
+  match woken with
+  | [] -> ()
+  | gen ->
+    let gen =
+      List.sort (fun a b -> Int.compare a.arrival b.arrival) gen
+    in
+    (* [unmet = 0] implies the predicate is satisfied (delivered labels
+       stay delivered), so every candidate releases. *)
+    let ready = List.filter (fun w -> deliverable t w.wmsg) gen in
+    let next = ref [] in
     List.iter
-      (fun msg ->
+      (fun w ->
+        w.released <- true;
+        Label.Tbl.remove t.parked (Message.label w.wmsg);
         Metrics.on_unbuffer t.metrics;
-        do_deliver t msg)
+        do_deliver t next w.wmsg)
       ready;
-    drain_pending t
-  end
+    drain t !next
+
+let park t msg =
+  Metrics.on_buffer t.metrics;
+  let arrival = t.arrivals in
+  t.arrivals <- arrival + 1;
+  let unmet_ancestors =
+    List.filter
+      (fun a -> not (is_delivered t a))
+      (Dep.ancestors (Message.dep msg))
+  in
+  let unmet =
+    match Message.dep msg with
+    | Dep.After_any _ -> 1
+    | Dep.Null | Dep.After _ | Dep.After_all _ -> List.length unmet_ancestors
+  in
+  let w = { wmsg = msg; arrival; unmet; released = false } in
+  Label.Tbl.replace t.parked (Message.label msg) w;
+  List.iter
+    (fun a ->
+      let bucket =
+        match Label.Tbl.find_opt t.waiting a with
+        | Some q -> q
+        | None ->
+          let q = Fqueue.create () in
+          Label.Tbl.add t.waiting a q;
+          q
+      in
+      Fqueue.push bucket w)
+    unmet_ancestors
 
 let receive t msg =
   let l = Message.label msg in
@@ -63,39 +145,41 @@ let receive t msg =
     Label.Tbl.add t.seen l ();
     Depgraph.add t.graph l ~dep:(Message.dep msg);
     if deliverable t msg then begin
-      do_deliver t msg;
-      drain_pending t
+      let woken = ref [] in
+      do_deliver t woken msg;
+      drain t !woken
     end
-    else begin
-      Metrics.on_buffer t.metrics;
-      t.pending_rev <- msg :: t.pending_rev
-    end
+    else park t msg
   end
 
 let delivered_order t = List.rev t.delivered_rev
 
 let delivered_count t = t.metrics.Metrics.delivered
 
-let pending t = List.rev t.pending_rev
+let waiters_by_arrival t =
+  Label.Tbl.fold (fun _ w acc -> w :: acc) t.parked []
+  |> List.sort (fun a b -> Int.compare a.arrival b.arrival)
 
-let pending_count t = List.length t.pending_rev
+let pending t = List.map (fun w -> w.wmsg) (waiters_by_arrival t)
+
+(* [buffered] is maintained incrementally by on_buffer/on_unbuffer, so
+   the count (and the metrics row) no longer walks the pending pool. *)
+let pending_count t = t.metrics.Metrics.buffered
 
 let buffered_ever t = t.metrics.Metrics.forced_waits
 
-let metrics t =
-  t.metrics.Metrics.buffered <- List.length t.pending_rev;
-  t.metrics
+let metrics t = t.metrics
 
 let graph t = t.graph
 
 let blocked_on t =
   let missing = ref Label.Set.empty in
-  List.iter
-    (fun msg ->
+  Label.Tbl.iter
+    (fun _ w ->
       List.iter
         (fun anc ->
           if not (Label.Tbl.mem t.seen anc) then
             missing := Label.Set.add anc !missing)
-        (Dep.ancestors (Message.dep msg)))
-    (pending t);
+        (Dep.ancestors (Message.dep w.wmsg)))
+    t.parked;
   Label.Set.elements !missing

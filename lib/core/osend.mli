@@ -3,8 +3,13 @@
     A member receives envelopes in arbitrary transport order and releases
     them to the application as soon as their [Occurs_After] predicate is
     satisfied by the already-delivered set.  Messages whose ancestors are
-    still missing are parked in a pending pool; a delivery may unblock a
-    cascade of pending messages.
+    still missing are parked under their unmet ancestor labels in a
+    reverse index, so delivering a label wakes exactly the messages
+    waiting on it — amortized O(outstanding dependency edges) rather than
+    a rescan of the whole pending pool per delivery.  A delivery may
+    unblock a cascade of pending messages; cascades release in arrival
+    order per wakeup generation, bit-identical to the seed list-scan
+    engine (kept as the oracle in [Causalb_reference]).
 
     Properties enforced (and tested):
     {ul

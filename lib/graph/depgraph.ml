@@ -2,6 +2,9 @@ type node = {
   label : Label.t;
   dep : Dep.t;
   mutable children : Label.t list; (* reversed insertion order *)
+  mutable indeg : int;
+      (* count of *present* ancestors, maintained as edges materialize,
+         so roots/in_degrees/topological never recount parents *)
 }
 
 type t = {
@@ -56,14 +59,22 @@ let add g l ~dep =
     Option.value ~default:[] (Label.Tbl.find_opt g.pending_children l)
   in
   Label.Tbl.remove g.pending_children l;
-  let n = { label = l; dep; children = pending } in
+  let n = { label = l; dep; children = pending; indeg = 0 } in
   Label.Tbl.add g.nodes l n;
   g.order <- l :: g.order;
   g.n <- g.n + 1;
+  (* children that named [l] before it arrived each gain their edge now *)
+  List.iter
+    (fun c ->
+      let cn = Label.Tbl.find g.nodes c in
+      cn.indeg <- cn.indeg + 1)
+    pending;
   List.iter
     (fun anc ->
       match Label.Tbl.find_opt g.nodes anc with
-      | Some a -> a.children <- l :: a.children
+      | Some a ->
+        a.children <- l :: a.children;
+        n.indeg <- n.indeg + 1
       | None ->
         let waiting =
           Option.value ~default:[]
@@ -157,13 +168,13 @@ let concurrent g a b =
   && (not (happens_before g a b))
   && not (happens_before g b a)
 
-let roots g = List.filter (fun l -> parents g l = []) (labels g)
+let roots g = List.filter (fun l -> (node g l).indeg = 0) (labels g)
 
-let leaves g = List.filter (fun l -> children g l = []) (labels g)
+let leaves g = List.filter (fun l -> (node g l).children = []) (labels g)
 
 let in_degrees g =
   let deg = Label.Tbl.create g.n in
-  List.iter (fun l -> Label.Tbl.replace deg l (List.length (parents g l))) (labels g);
+  Label.Tbl.iter (fun l n -> Label.Tbl.replace deg l n.indeg) g.nodes;
   deg
 
 let topological g =

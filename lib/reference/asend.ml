@@ -1,0 +1,122 @@
+(* Seed list-sorting Merge/Counted total-order layers, kept as ordering
+   oracles for the heap-backed versions in [Causalb_core.Asend].  Both
+   rely on [List.sort] being stable over the arrival-ordered buffer; the
+   heap reproduces that order with an arrival-sequence tie-break. *)
+
+module Label = Causalb_graph.Label
+module Metrics = Causalb_stackbase.Metrics
+module Message = Causalb_core.Message
+
+let default_compare a b = Label.compare (Message.label a) (Message.label b)
+
+module Merge = struct
+  type 'a t = {
+    is_sync : 'a Message.t -> bool;
+    compare : 'a Message.t -> 'a Message.t -> int;
+    deliver : 'a Message.t -> unit;
+    mutable buffer : 'a Message.t list;
+    mutable order_rev : Label.t list;
+    mutable batches : int;
+    metrics : Metrics.t;
+  }
+
+  let create ~is_sync ?(compare = default_compare) ?(deliver = fun _ -> ()) ()
+      =
+    {
+      is_sync;
+      compare;
+      deliver;
+      buffer = [];
+      order_rev = [];
+      batches = 0;
+      metrics = Metrics.create ~name:"total:merge" ();
+    }
+
+  let release t msg =
+    t.order_rev <- Message.label msg :: t.order_rev;
+    Metrics.on_deliver t.metrics;
+    t.deliver msg
+
+  let on_causal_deliver t msg =
+    Metrics.on_receive t.metrics;
+    if t.is_sync msg then begin
+      let batch = List.sort t.compare (List.rev t.buffer) in
+      t.buffer <- [];
+      t.batches <- t.batches + 1;
+      List.iter
+        (fun m ->
+          Metrics.on_unbuffer t.metrics;
+          release t m)
+        batch;
+      release t msg
+    end
+    else begin
+      Metrics.on_buffer t.metrics;
+      t.buffer <- msg :: t.buffer
+    end
+
+  let total_order t = List.rev t.order_rev
+
+  let buffered t = List.length t.buffer
+
+  let batches t = t.batches
+
+  let metrics t =
+    t.metrics.Metrics.buffered <- List.length t.buffer;
+    t.metrics
+end
+
+module Counted = struct
+  type 'a t = {
+    batch_size : int;
+    compare : 'a Message.t -> 'a Message.t -> int;
+    deliver : 'a Message.t -> unit;
+    mutable buffer : 'a Message.t list;
+    mutable order_rev : Label.t list;
+    mutable batches : int;
+    metrics : Metrics.t;
+  }
+
+  let create ~batch_size ?(compare = default_compare)
+      ?(deliver = fun _ -> ()) () =
+    if batch_size <= 0 then
+      invalid_arg "Asend.Counted.create: batch_size must be positive";
+    {
+      batch_size;
+      compare;
+      deliver;
+      buffer = [];
+      order_rev = [];
+      batches = 0;
+      metrics = Metrics.create ~name:"total:counted" ();
+    }
+
+  let release t msg =
+    t.order_rev <- Message.label msg :: t.order_rev;
+    Metrics.on_deliver t.metrics;
+    t.deliver msg
+
+  let on_causal_deliver t msg =
+    Metrics.on_receive t.metrics;
+    if List.length t.buffer + 1 = t.batch_size then begin
+      let batch = List.sort t.compare (List.rev (msg :: t.buffer)) in
+      List.iter (fun _ -> Metrics.on_unbuffer t.metrics) t.buffer;
+      t.buffer <- [];
+      t.batches <- t.batches + 1;
+      List.iter (release t) batch
+    end
+    else begin
+      Metrics.on_buffer t.metrics;
+      t.buffer <- msg :: t.buffer
+    end
+
+  let total_order t = List.rev t.order_rev
+
+  let buffered t = List.length t.buffer
+
+  let batches t = t.batches
+
+  let metrics t =
+    t.metrics.Metrics.buffered <- List.length t.buffer;
+    t.metrics
+end

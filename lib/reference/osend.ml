@@ -1,0 +1,108 @@
+(* Seed list-scan OSend engine, kept verbatim as the ordering oracle.
+   Every delivery rescans the whole pending pool (the O(P)-per-delivery
+   behaviour the reverse index in [Causalb_core.Osend] replaces); the
+   delivered order it produces is the specification the indexed engine
+   must reproduce bit for bit. *)
+
+module Label = Causalb_graph.Label
+module Dep = Causalb_graph.Dep
+module Depgraph = Causalb_graph.Depgraph
+module Metrics = Causalb_stackbase.Metrics
+module Message = Causalb_core.Message
+
+type 'a t = {
+  id : int;
+  deliver : 'a Message.t -> unit;
+  mutable delivered : Label.Set.t;
+  mutable delivered_rev : Label.t list;
+  mutable pending_rev : 'a Message.t list;
+  graph : Depgraph.t;
+  seen : unit Label.Tbl.t; (* every label ever received *)
+  metrics : Metrics.t;
+}
+
+let create ~id ?(deliver = fun _ -> ()) () =
+  {
+    id;
+    deliver;
+    delivered = Label.Set.empty;
+    delivered_rev = [];
+    pending_rev = [];
+    graph = Depgraph.create ();
+    seen = Label.Tbl.create 64;
+    metrics = Metrics.create ~name:"causal:osend" ();
+  }
+
+let id t = t.id
+
+let is_delivered t l = Label.Set.mem l t.delivered
+
+let deliverable t msg =
+  Dep.satisfied ~delivered:(fun l -> is_delivered t l) (Message.dep msg)
+
+let do_deliver t msg =
+  t.delivered <- Label.Set.add (Message.label msg) t.delivered;
+  t.delivered_rev <- Message.label msg :: t.delivered_rev;
+  Metrics.on_deliver t.metrics;
+  t.deliver msg
+
+(* After a delivery, repeatedly sweep the pending pool: releasing one
+   message may satisfy the predicates of others.  The sweep preserves
+   arrival order among simultaneously unblocked messages, which keeps the
+   engine deterministic given a deterministic transport. *)
+let rec drain_pending t =
+  let pending = List.rev t.pending_rev in
+  let ready, blocked = List.partition (deliverable t) pending in
+  if ready <> [] then begin
+    t.pending_rev <- List.rev blocked;
+    List.iter
+      (fun msg ->
+        Metrics.on_unbuffer t.metrics;
+        do_deliver t msg)
+      ready;
+    drain_pending t
+  end
+
+let receive t msg =
+  let l = Message.label msg in
+  Metrics.on_receive t.metrics;
+  if not (Label.Tbl.mem t.seen l) then begin
+    Label.Tbl.add t.seen l ();
+    Depgraph.add t.graph l ~dep:(Message.dep msg);
+    if deliverable t msg then begin
+      do_deliver t msg;
+      drain_pending t
+    end
+    else begin
+      Metrics.on_buffer t.metrics;
+      t.pending_rev <- msg :: t.pending_rev
+    end
+  end
+
+let delivered_order t = List.rev t.delivered_rev
+
+let delivered_count t = t.metrics.Metrics.delivered
+
+let pending t = List.rev t.pending_rev
+
+let pending_count t = List.length t.pending_rev
+
+let buffered_ever t = t.metrics.Metrics.forced_waits
+
+let metrics t =
+  t.metrics.Metrics.buffered <- List.length t.pending_rev;
+  t.metrics
+
+let graph t = t.graph
+
+let blocked_on t =
+  let missing = ref Label.Set.empty in
+  List.iter
+    (fun msg ->
+      List.iter
+        (fun anc ->
+          if not (Label.Tbl.mem t.seen anc) then
+            missing := Label.Set.add anc !missing)
+        (Dep.ancestors (Message.dep msg)))
+    (pending t);
+  Label.Set.elements !missing

@@ -51,6 +51,7 @@ type 'a t = {
   causal_latency : Stats.t; (* submit/broadcast -> causal delivery *)
   total_latency : Stats.t;  (* submit/broadcast -> total-order release *)
   app_rev : Label.t list array; (* release order per node, reversed *)
+  app_count : int array; (* length of app_rev, maintained on release *)
   on_deliver : node:int -> time:float -> 'a Message.t -> unit;
   trace : Trace.t option;
   seqs : int array; (* label mirror for engines with internal counters *)
@@ -75,6 +76,7 @@ let record_latency tbl stats ~time label =
 let release t ~node ~time msg =
   let label = Message.label msg in
   t.app_rev.(node) <- label :: t.app_rev.(node);
+  t.app_count.(node) <- t.app_count.(node) + 1;
   (match t.trace with
   | Some tr ->
     Trace.record tr ~time ~node ~kind:Trace.Release
@@ -218,6 +220,7 @@ let compose ?(ordering = Osend) ?(total = Pass) ?(latency = Latency.lan)
       causal_latency = Stats.create ();
       total_latency = Stats.create ();
       app_rev = Array.make nodes [];
+      app_count = Array.make nodes 0;
       on_deliver;
       trace;
       seqs = Array.make nodes 0;
@@ -278,7 +281,7 @@ let delivered_order t node = List.rev t.app_rev.(node)
 let all_delivered_orders t =
   List.init t.nodes (fun node -> delivered_order t node)
 
-let delivered_count t node = List.length t.app_rev.(node)
+let delivered_count t node = t.app_count.(node)
 
 let messages_sent t =
   let sent, _, _ = t.net_stats () in

@@ -1,0 +1,60 @@
+type 'a cell = { value : 'a; mutable next : 'a cell option }
+
+type 'a t = {
+  mutable head : 'a cell option;
+  mutable tail : 'a cell option;
+  mutable len : int;
+}
+
+let create () = { head = None; tail = None; len = 0 }
+
+let length q = q.len
+
+let is_empty q = q.len = 0
+
+let push q x =
+  let cell = { value = x; next = None } in
+  (match q.tail with
+  | None -> q.head <- Some cell
+  | Some last -> last.next <- Some cell);
+  q.tail <- Some cell;
+  q.len <- q.len + 1
+
+let pop q =
+  match q.head with
+  | None -> None
+  | Some cell ->
+    q.head <- cell.next;
+    if cell.next = None then q.tail <- None;
+    q.len <- q.len - 1;
+    Some cell.value
+
+let peek q =
+  match q.head with None -> None | Some cell -> Some cell.value
+
+let iter f q =
+  let rec go = function
+    | None -> ()
+    | Some cell ->
+      f cell.value;
+      go cell.next
+  in
+  go q.head
+
+let fold f acc q =
+  let rec go acc = function
+    | None -> acc
+    | Some cell -> go (f acc cell.value) cell.next
+  in
+  go acc q.head
+
+let clear q =
+  q.head <- None;
+  q.tail <- None;
+  q.len <- 0
+
+let drain f q =
+  iter f q;
+  clear q
+
+let to_list q = List.rev (fold (fun acc x -> x :: acc) [] q)
