@@ -1,35 +1,20 @@
-(* Experiment harness entry point.
+(* Experiment harness entry point (sequential).
 
    With no arguments, regenerates every figure (F1–F5) and every table
-   (T1–T6) from DESIGN.md, then runs the bechamel micro-benchmarks.
+   (T1–T8, A1–A4, S1) from DESIGN.md, then runs the timing benches.
    Pass experiment ids to run a subset:
 
      dune exec bench/main.exe            # everything
      dune exec bench/main.exe -- T1 T6   # just those
      dune exec bench/main.exe -- figures # F1..F5
-     dune exec bench/main.exe -- micro   # bechamel only *)
+     dune exec bench/main.exe -- micro   # bechamel only
 
-let experiments : (string * string * (unit -> unit)) list =
-  [
-    ("figures", "F1-F5: executable reproductions of the paper's figures",
-     Exp_figures.run);
-    ("T1", "latency vs group size: causal vs merge vs sequencer", Exp_t1.run);
-    ("T2", "latency vs commutative fraction (the f-bar=20 claim)", Exp_t2.run);
-    ("T3", "agreement granularity: constraints and waits per op", Exp_t3.run);
-    ("T4", "name service: app-check vs total order", Exp_t4.run);
-    ("T5", "lock arbitration scaling", Exp_t5.run);
-    ("T6", "explicit (OSend) vs inferred (BSS) causality", Exp_t6.run);
-    ("T7", "per-item vs global windows (the \xc2\xa75.1 decomposition)", Exp_t7.run);
-    ("T8", "causal DSM (ref [5]) vs the stable-point model", Exp_t8.run);
-    ("A1", "ablation: loss-recovery layer cost vs drop rate", Exp_a1.run);
-    ("A2", "ablation: view-change cost vs group size", Exp_a2.run);
-    ("A3", "ablation: stability GC of the repair stash", Exp_a3.run);
-    ("A4", "ablation: OR-dependency (first-response) extension", Exp_a4.run);
-    ("S1", "ordering stack: one workload over every composition", Exp_s1.run);
-    ("micro", "bechamel micro-benchmarks of the hot paths", Micro.run);
-    ("scaling", "seed list-scan vs indexed wakeup queues (writes BENCH_PR3.json)",
-     Scaling.run);
-  ]
+   The experiment list itself lives in [Causalb_bench.Registry]; the
+   parallel runner is [causalb exp -j N] / [causalb bench -j N], which
+   shards the same registry across worker processes and reassembles
+   byte-identical output. *)
+
+module Registry = Causalb_bench.Registry
 
 let () =
   let args =
@@ -37,29 +22,23 @@ let () =
   in
   let wanted =
     match args with
-    | [] -> List.map (fun (id, _, _) -> id) experiments
+    | [] -> List.map (fun (e : Registry.experiment) -> e.id) Registry.all
     | ids -> ids
   in
-  let find id =
-    List.find_opt
-      (fun (eid, _, _) -> String.lowercase_ascii eid = String.lowercase_ascii id)
-      experiments
-  in
-  let unknown = List.filter (fun id -> find id = None) wanted in
+  let unknown = List.filter (fun id -> Registry.find id = None) wanted in
   if unknown <> [] then begin
     Printf.eprintf "unknown experiment(s): %s\navailable:\n"
       (String.concat ", " unknown);
     List.iter
-      (fun (id, descr, _) -> Printf.eprintf "  %-8s %s\n" id descr)
-      experiments;
+      (fun (e : Registry.experiment) ->
+        Printf.eprintf "  %-8s %s\n" e.id e.descr)
+      Registry.all;
     exit 2
   end;
   List.iter
     (fun id ->
-      match find id with
-      | Some (eid, descr, run) ->
-        Printf.printf "\n######## %s — %s ########\n" eid descr;
-        run ()
+      match Registry.find id with
+      | Some e -> Registry.run_sequential e
       | None -> ())
     wanted;
   print_endline "\nall requested experiments completed."

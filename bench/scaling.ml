@@ -1,11 +1,13 @@
-(* Scaling benchmarks for the reverse-indexed wakeup queues.
+(* Scaling + allocation benchmarks for the hot paths.
 
    Every shape is measured twice inside this one binary: "before" drives
-   the frozen seed list-scan engine from [Causalb_reference], "after"
-   drives the indexed engine from [Causalb_core], on identical message
-   arrays.  That keeps the comparison honest (same compiler, same
-   allocator state, same inputs) and lets CI regenerate the numbers in
-   one run.
+   a frozen engine from [Causalb_reference], "after" drives the live
+   code, on identical inputs.  That keeps the comparison honest (same
+   compiler, same allocator state, same inputs) and lets CI regenerate
+   the numbers in one run.  Besides CPU time, each measurement records
+   the minor/major-heap words one run allocates ([Gc.quick_stat] deltas
+   over the timed loop — allocation is deterministic, so the per-run
+   figure is exact).
 
    Shapes, per engine:
    - [osend.chain]  — an N-message dependency chain arriving in reverse:
@@ -21,13 +23,22 @@
    - [counted.batch] — an N-message Counted bracket: the seed walked the
      buffer length on every insert (O(N^2) per bracket); the maintained
      size counter leaves one stable sort at the close.
+   - [net.bcast]    — broadcast fan-out with tracing off: the frozen PR 3
+     transport builds a trace info string and a fresh delivery closure
+     per copy; the live one guards the sprintf behind [tracing] and
+     recycles packets through a free list.  The headline
+     words-per-delivered-message row.
+   - [clock.receive] — vector-clock message receipt: the PR 3 composition
+     [tick (merge local remote) me] (two fresh vectors per stamp) vs the
+     in-place [receive_into] (none).
 
-   Results go to a table on stdout and to a machine-readable JSON file
-   (default [BENCH_PR3.json], override with CAUSALB_BENCH_OUT).  Each row
-   is {name; n; before_ns; after_ns; speedup}.  The n=64 rows double as
-   the no-regression guard for small workloads; the n=4096 wide-fan row
-   is the headline the PR gates on.  CAUSALB_BENCH_QUOTA_MS shrinks the
-   per-measurement budget for CI smoke runs. *)
+   Results go to a table on stdout and to the cumulative machine-readable
+   artifact (default [BENCH_PR5.json], override with CAUSALB_BENCH_OUT)
+   via [Bench_out].  Each row is the PR 3 schema {name; n; before_ns;
+   after_ns; speedup} plus GC words and a [units] normaliser.  The n=64
+   rows double as the no-regression guard for small workloads.
+   CAUSALB_BENCH_QUOTA_MS shrinks the per-measurement budget for CI smoke
+   runs. *)
 
 module Label = Causalb_graph.Label
 module Dep = Causalb_graph.Dep
@@ -36,27 +47,43 @@ module Message = Causalb_core.Message
 module Osend = Causalb_core.Osend
 module Bss = Causalb_core.Bss
 module Asend = Causalb_core.Asend
+module Engine = Causalb_sim.Engine
+module Net = Causalb_net.Net
 module Rosend = Causalb_reference.Osend
 module Rbss = Causalb_reference.Bss
 module Rasend = Causalb_reference.Asend
+module Rnet = Causalb_reference.Net
 
 let quota_ms =
   match Sys.getenv_opt "CAUSALB_BENCH_QUOTA_MS" with
   | Some s -> ( try max 1 (int_of_string s) with _ -> 200)
   | None -> 200
 
+type sample = { ns : float; minor_words : float; major_words : float }
+
 (* Adaptive CPU timing: double the repetition count until one batch fills
-   the quota, then report ns per run.  One warm-up run is discarded. *)
-let time_ns f =
+   the quota, then report per-run figures from that batch.  One warm-up
+   run is discarded; GC words are read around the same loop the timing
+   uses, so time and allocation describe the same executions. *)
+let measure f =
   f ();
   let quota = float_of_int quota_ms /. 1000.0 in
   let rec go reps =
+    let g0 = Gc.quick_stat () in
     let t0 = Sys.time () in
     for _ = 1 to reps do
       f ()
     done;
     let dt = Sys.time () -. t0 in
-    if dt >= quota then dt /. float_of_int reps *. 1e9 else go (reps * 2)
+    let g1 = Gc.quick_stat () in
+    if dt >= quota then
+      let per x = x /. float_of_int reps in
+      {
+        ns = per dt *. 1e9;
+        minor_words = per (g1.Gc.minor_words -. g0.Gc.minor_words);
+        major_words = per (g1.Gc.major_words -. g0.Gc.major_words);
+      }
+    else go (reps * 2)
   in
   go 1
 
@@ -100,7 +127,8 @@ let counted_msgs n =
   Array.init n (fun i ->
       Message.make ~label:(lbl i) ~sender:(i mod 8) ~dep:Dep.null i)
 
-(* --- the before/after pairs --- *)
+(* --- the before/after pairs; each returns (before, after, units) where
+   [units] is the logical operations one run performs --- *)
 
 let osend_chain n =
   let msgs = chain_msgs n in
@@ -116,7 +144,7 @@ let osend_chain n =
       Osend.receive m msgs.(i)
     done
   in
-  (before, after)
+  (before, after, float_of_int n)
 
 let osend_wide n =
   let children, independent, root = wide_msgs n in
@@ -132,7 +160,7 @@ let osend_wide n =
     Array.iter (Osend.receive m) independent;
     Osend.receive m root
   in
-  (before, after)
+  (before, after, float_of_int n)
 
 let bss_chain n =
   let envs = bss_envs n in
@@ -148,7 +176,7 @@ let bss_chain n =
       Bss.receive m envs.(i)
     done
   in
-  (before, after)
+  (before, after, float_of_int n)
 
 let counted_batch n =
   let msgs = counted_msgs n in
@@ -160,7 +188,67 @@ let counted_batch n =
     let m = Asend.Counted.create ~batch_size:n () in
     Array.iter (Asend.Counted.on_causal_deliver m) msgs
   in
-  (before, after)
+  (before, after, float_of_int n)
+
+(* Broadcast fan-out through the simulated transport, tracing off — the
+   configuration every experiment driver runs in.  [n] is scaled into
+   rounds of one broadcast over an 8-node group; each round delivers 8
+   copies (self included), so units = delivered messages per run. *)
+let net_bcast n =
+  let nodes = 8 in
+  let rounds = max 1 (n / nodes) in
+  let delivered = rounds * nodes in
+  let before () =
+    let e = Engine.create ~seed:7 () in
+    let net = Rnet.create e ~nodes () in
+    let sink = ref 0 in
+    for i = 0 to nodes - 1 do
+      Rnet.set_handler net i (fun ~src:_ _ -> incr sink)
+    done;
+    for r = 0 to rounds - 1 do
+      Rnet.broadcast net ~src:(r mod nodes) r;
+      Engine.run e
+    done;
+    assert (!sink = delivered)
+  in
+  let after () =
+    let e = Engine.create ~seed:7 () in
+    let net = Net.create e ~nodes () in
+    let sink = ref 0 in
+    for i = 0 to nodes - 1 do
+      Net.set_handler net i (fun ~src:_ _ -> incr sink)
+    done;
+    for r = 0 to rounds - 1 do
+      Net.broadcast net ~src:(r mod nodes) r;
+      Engine.run e
+    done;
+    assert (!sink = delivered)
+  in
+  (before, after, float_of_int delivered)
+
+(* Vector-clock receipt over a 32-wide group, one stamp per unit.  The
+   before side is the PR 3 composition (merge allocates, tick copies);
+   the after side mutates a process-owned clock in place. *)
+let clock_receive n =
+  let width = 32 in
+  let me = 0 in
+  let remotes =
+    Array.init n (fun i ->
+        Vc.of_array (Array.init width (fun j -> (i * 7 + j * 3) mod 50)))
+  in
+  let before () =
+    let local = ref (Vc.create width) in
+    for i = 0 to n - 1 do
+      local := Vc.tick (Vc.merge !local remotes.(i)) me
+    done
+  in
+  let after () =
+    let local = Vc.create width in
+    for i = 0 to n - 1 do
+      Vc.receive_into ~local ~remote:remotes.(i) ~me
+    done
+  in
+  (before, after, float_of_int n)
 
 let shapes =
   [
@@ -168,79 +256,75 @@ let shapes =
     ("osend.wide", osend_wide);
     ("bss.chain", bss_chain);
     ("counted.batch", counted_batch);
+    ("net.bcast", net_bcast);
+    ("clock.receive", clock_receive);
   ]
 
 let sizes = [ 64; 512; 4096 ]
 
-type row = {
-  name : string;
-  n : int;
-  before_ns : float;
-  after_ns : float;
-}
-
-let speedup r = r.before_ns /. r.after_ns
-
-let json_of_rows rows =
-  let buf = Buffer.create 1024 in
-  Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"bench\": \"indexed wakeup queues\",\n";
-  Buffer.add_string buf
-    (Printf.sprintf "  \"quota_ms\": %d,\n" quota_ms);
-  Buffer.add_string buf "  \"rows\": [\n";
-  List.iteri
-    (fun i r ->
-      Buffer.add_string buf
-        (Printf.sprintf
-           "    {\"name\": %S, \"n\": %d, \"before_ns\": %.0f, \
-            \"after_ns\": %.0f, \"speedup\": %.2f}%s\n"
-           r.name r.n r.before_ns r.after_ns (speedup r)
-           (if i = List.length rows - 1 then "" else ",")))
-    rows;
-  Buffer.add_string buf "  ]\n}\n";
-  Buffer.contents buf
-
-let run () =
-  print_endline
-    "\n================ scaling: seed list-scan vs indexed ================";
+let collect () =
   Printf.printf "(per-measurement quota: %d ms)\n%!" quota_ms;
-  let rows =
-    List.concat_map
-      (fun (name, make) ->
-        List.map
-          (fun n ->
-            let before, after = make n in
-            let before_ns = time_ns before in
-            let after_ns = time_ns after in
-            let r = { name; n; before_ns; after_ns } in
-            Printf.printf "  %-14s n=%-5d before=%12.0fns after=%12.0fns \
-                           speedup=%6.2fx\n%!"
-              name n before_ns after_ns (speedup r);
-            r)
-          sizes)
-      shapes
-  in
+  List.concat_map
+    (fun (name, make) ->
+      List.map
+        (fun n ->
+          let before, after, units = make n in
+          let b = measure before in
+          let a = measure after in
+          let r =
+            {
+              Bench_out.name;
+              n;
+              units;
+              before_ns = b.ns;
+              after_ns = a.ns;
+              before_minor_words = b.minor_words;
+              after_minor_words = a.minor_words;
+              before_major_words = b.major_words;
+              after_major_words = a.major_words;
+            }
+          in
+          Printf.printf
+            "  %-14s n=%-5d before=%12.0fns after=%12.0fns speedup=%6.2fx \
+             minor_w/unit %8.1f -> %8.1f\n\
+             %!"
+            name n b.ns a.ns (Bench_out.speedup r) (b.minor_words /. units)
+            (a.minor_words /. units);
+          r)
+        sizes)
+    shapes
+
+let print_table rows =
   let t =
-    Causalb_util.Table.create ~title:"scaling (ns per workload run)"
-      ~columns:[ "shape"; "n"; "before"; "after"; "speedup" ]
+    Causalb_util.Table.create
+      ~title:"scaling (ns and minor-heap words per workload run)"
+      ~columns:
+        [ "shape"; "n"; "before ns"; "after ns"; "speedup";
+          "minor w/unit before"; "minor w/unit after"; "saved" ]
   in
   List.iter
-    (fun r ->
+    (fun (r : Bench_out.row) ->
       Causalb_util.Table.add_row t
         [
           r.name;
           string_of_int r.n;
           Causalb_util.Table.fmt_float ~digits:0 r.before_ns;
           Causalb_util.Table.fmt_float ~digits:0 r.after_ns;
-          Printf.sprintf "%.2fx" (speedup r);
+          Printf.sprintf "%.2fx" (Bench_out.speedup r);
+          Causalb_util.Table.fmt_float ~digits:1
+            (r.before_minor_words /. r.units);
+          Causalb_util.Table.fmt_float ~digits:1
+            (r.after_minor_words /. r.units);
+          Causalb_util.Table.fmt_pct (Bench_out.minor_words_saved r);
         ])
     rows;
-  Causalb_util.Table.print t;
-  let out =
-    Option.value ~default:"BENCH_PR3.json"
-      (Sys.getenv_opt "CAUSALB_BENCH_OUT")
-  in
-  let oc = open_out out in
-  output_string oc (json_of_rows rows);
-  close_out oc;
+  Causalb_util.Table.print t
+
+let run () =
+  print_endline
+    "\n================ scaling: frozen reference vs live hot paths \
+     ================";
+  let rows = collect () in
+  print_table rows;
+  let out = Bench_out.write ~quota_ms ~rows ~sweeps:[] () in
   Printf.printf "wrote %s\n%!" out

@@ -523,6 +523,142 @@ let infer_cmd =
              (\xc2\xa73.2)")
     Term.(const infer $ seed $ sigma $ runs)
 
+(* --- exp / bench: the experiment sweep, optionally parallel --- *)
+
+module Registry = Causalb_bench.Registry
+module Runner = Causalb_bench.Runner
+module Pool = Causalb_harness.Pool
+
+let jobs_arg =
+  let doc =
+    "Worker processes for the sweep.  1 (the default) runs in-process; \
+     N > 1 forks N workers and shards experiment parts across them.  \
+     The assembled stdout is byte-identical whatever N."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let resolve_experiments ids ~default =
+  match ids with
+  | [] -> Ok default
+  | ids ->
+    let unknown = List.filter (fun id -> Registry.find id = None) ids in
+    if unknown <> [] then Error unknown
+    else Ok (List.filter_map Registry.find ids)
+
+let report_unknown unknown =
+  Printf.eprintf "unknown experiment(s): %s\navailable:\n"
+    (String.concat ", " unknown);
+  List.iter
+    (fun (e : Registry.experiment) ->
+      Printf.eprintf "  %-8s %s\n" e.id e.descr)
+    Registry.all;
+  2
+
+let summarise_to_stderr (o : Runner.outcome) =
+  Printf.eprintf "# sweep: %d task(s), %d job(s), %.0f ms wall\n"
+    (List.length o.report.results)
+    o.report.jobs o.report.wall_ms;
+  List.iter
+    (fun (r : Pool.result) ->
+      Printf.eprintf "#   %-14s %8.1f ms  %12.0f minor words  %s\n" r.name
+        r.wall_ms r.gc_minor_words
+        (match r.status with Pool.Done -> "ok" | Pool.Failed m -> "FAILED: " ^ m))
+    o.report.results;
+  match o.report.failures with
+  | [] -> 0
+  | names ->
+    Printf.eprintf "# FAILED experiment task(s): %s\n" (String.concat ", " names);
+    1
+
+let exp_run jobs seed ids =
+  (* With no ids, run the byte-reproducible experiments: the timing
+     benches (micro, scaling) print measured durations, so they only run
+     when asked for by name (or via [causalb bench]). *)
+  let default =
+    List.filter (fun (e : Registry.experiment) -> e.kind = Registry.Deterministic)
+      Registry.all
+  in
+  match resolve_experiments ids ~default with
+  | Error unknown -> report_unknown unknown
+  | Ok exps ->
+    let o = Runner.run ~jobs ~base_seed:seed exps in
+    print_string o.stdout_text;
+    print_endline "\nall requested experiments completed.";
+    summarise_to_stderr o
+
+let exp_cmd =
+  let ids =
+    Arg.(value & pos_all string [] & info [] ~docv:"ID"
+           ~doc:"Experiment ids (default: every deterministic experiment).")
+  in
+  Cmd.v
+    (Cmd.info "exp"
+       ~doc:"Run registered experiments, optionally sharded across worker \
+             processes; stdout is byte-identical for every -j")
+    Term.(const exp_run $ jobs_arg $ seed $ ids)
+
+let bench_run jobs seed =
+  (* 1. before/after hot-path shapes, with GC columns (in-process) *)
+  print_endline
+    "================ scaling: frozen reference vs live hot paths \
+     ================";
+  let rows = Causalb_bench.Scaling.collect () in
+  Causalb_bench.Scaling.print_table rows;
+  (* 2. the deterministic sweep, timed sequentially and (if -j > 1) in
+     parallel; the parallel run must reproduce the sequential bytes *)
+  let exps =
+    List.filter (fun (e : Registry.experiment) -> e.kind = Registry.Deterministic)
+      Registry.all
+  in
+  Printf.printf "timing deterministic sweep at -j 1 ...\n%!";
+  let o1 = Runner.run ~jobs:1 ~base_seed:seed exps in
+  let oj =
+    if jobs > 1 then begin
+      Printf.printf "timing deterministic sweep at -j %d ...\n%!" jobs;
+      Some (Runner.run ~jobs ~base_seed:seed exps)
+    end
+    else None
+  in
+  let mismatch =
+    match oj with
+    | Some oj when not (String.equal oj.stdout_text o1.stdout_text) -> true
+    | _ -> false
+  in
+  if mismatch then
+    Printf.eprintf
+      "# ERROR: -j %d sweep output differs from the sequential run\n" jobs;
+  let sweeps =
+    Runner.sweep_of o1
+    :: (match oj with Some oj -> [ Runner.sweep_of oj ] | None -> [])
+  in
+  let out =
+    Causalb_bench.Bench_out.write
+      ~quota_ms:Causalb_bench.Scaling.quota_ms ~rows ~sweeps ()
+  in
+  Printf.printf "sweep wall: j=1 %.0f ms%s\nwrote %s\n%!" o1.report.wall_ms
+    (match oj with
+    | Some oj -> Printf.sprintf ", j=%d %.0f ms" jobs oj.report.wall_ms
+    | None -> "")
+    out;
+  let failed =
+    o1.report.failures
+    @ (match oj with Some oj -> oj.report.failures | None -> [])
+  in
+  if failed <> [] then begin
+    Printf.eprintf "# FAILED experiment task(s): %s\n"
+      (String.concat ", " failed);
+    1
+  end
+  else if mismatch then 1
+  else 0
+
+let bench_cmd =
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:"Run the before/after hot-path benchmarks plus the timed \
+             experiment sweep and write the cumulative BENCH_PR5.json")
+    Term.(const bench_run $ jobs_arg $ seed)
+
 let main_cmd =
   let doc =
     "causal broadcasting and consistency of distributed shared data \
@@ -541,6 +677,8 @@ let main_cmd =
       pages_cmd;
       dsm_cmd;
       infer_cmd;
+      exp_cmd;
+      bench_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

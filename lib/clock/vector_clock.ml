@@ -30,7 +30,36 @@ let merge a b =
   check_sizes a b;
   Array.init (Array.length a) (fun i -> max a.(i) b.(i))
 
-let receive ~local ~remote ~me = tick (merge local remote) me
+let receive ~local ~remote ~me =
+  check_sizes local remote;
+  check_index local me;
+  (* merge + tick fused into one allocation *)
+  let v = Array.init (Array.length local) (fun i -> max local.(i) remote.(i)) in
+  v.(me) <- v.(me) + 1;
+  v
+
+let copy = Array.copy
+
+let merge_into ~into src =
+  check_sizes into src;
+  for i = 0 to Array.length into - 1 do
+    if src.(i) > into.(i) then into.(i) <- src.(i)
+  done
+
+let receive_into ~local ~remote ~me =
+  check_index local me;
+  merge_into ~into:local remote;
+  local.(me) <- local.(me) + 1
+
+let bump v i =
+  check_index v i;
+  v.(i) <- v.(i) + 1
+
+let with_component v i x =
+  check_index v i;
+  let v' = Array.copy v in
+  v'.(i) <- x;
+  v'
 
 let leq a b =
   check_sizes a b;

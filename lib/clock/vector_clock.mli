@@ -34,7 +34,38 @@ val merge : t -> t -> t
     @raise Invalid_argument on size mismatch. *)
 
 val receive : local:t -> remote:t -> me:int -> t
-(** Message-receipt rule: merge then tick own component. *)
+(** Message-receipt rule: merge then tick own component.  One allocation
+    (the result vector). *)
+
+(** {1 In-place operations}
+
+    Hot paths deliver one message per call and would otherwise allocate a
+    fresh vector each time; these mutate an owned clock instead.  A clock
+    obtained from a message stamp is shared — mutate only clocks this
+    process created (via {!create}, {!copy}, {!of_array} or
+    {!with_component}). *)
+
+val copy : t -> t
+(** An independent clock with the same components. *)
+
+val merge_into : into:t -> t -> unit
+(** [merge_into ~into v] sets [into] to the componentwise maximum of the
+    two clocks.  Allocation-free.
+    @raise Invalid_argument on size mismatch. *)
+
+val receive_into : local:t -> remote:t -> me:int -> unit
+(** In-place {!receive}: [local] becomes [merge local remote] with
+    component [me] ticked.  Allocation-free; agrees with the pure
+    {!receive} (property-tested in [test/test_clock.ml]). *)
+
+val bump : t -> int -> unit
+(** In-place {!tick}: increments component [i] without copying. *)
+
+val with_component : t -> int -> int -> t
+(** [with_component v i x] is a fresh clock equal to [v] except component
+    [i] holds [x] — a snapshot in a single allocation.  The BSS stamp
+    (delivered counts with the sender's own component swapped for its
+    send count) is built with this. *)
 
 val compare_causal : t -> t -> ordering
 

@@ -22,7 +22,7 @@ type 'a member = {
   id : int;
   n : int;
   deliver : 'a envelope -> unit;
-  mutable delivered : int array; (* per-origin delivered count *)
+  delivered : Vc.t; (* per-origin delivered count, mutated in place *)
   mutable own_sends : int;
   waiting : (int * int, 'a waiter Fqueue.t) Hashtbl.t;
       (* (origin, value) -> waiters woken when delivered.(origin)
@@ -39,7 +39,7 @@ let member ~id ~group_size ?(deliver = fun _ -> ()) () =
     id;
     n = group_size;
     deliver;
-    delivered = Array.make group_size 0;
+    delivered = Vc.create group_size;
     own_sends = 0;
     waiting = Hashtbl.create 64;
     arrivals = 0;
@@ -48,9 +48,9 @@ let member ~id ~group_size ?(deliver = fun _ -> ()) () =
   }
 
 let deliverable t (e : 'a envelope) =
-  let ok = ref (Vc.get e.stamp e.sender = t.delivered.(e.sender) + 1) in
+  let ok = ref (Vc.get e.stamp e.sender = Vc.get t.delivered e.sender + 1) in
   for k = 0 to t.n - 1 do
-    if k <> e.sender && Vc.get e.stamp k > t.delivered.(k) then ok := false
+    if k <> e.sender && Vc.get e.stamp k > Vc.get t.delivered k then ok := false
   done;
   !ok
 
@@ -72,8 +72,8 @@ let wake t key woken =
       bucket
 
 let do_deliver t woken e =
-  let v = t.delivered.(e.sender) + 1 in
-  t.delivered.(e.sender) <- v;
+  let v = Vc.get t.delivered e.sender + 1 in
+  Vc.bump t.delivered e.sender;
   t.tags_rev <- e.tag :: t.tags_rev;
   Metrics.on_deliver t.metrics;
   t.deliver e;
@@ -118,10 +118,10 @@ let park t e =
     Fqueue.push bucket w
   in
   let s = e.sender in
-  if t.delivered.(s) < Vc.get e.stamp s - 1 then
+  if Vc.get t.delivered s < Vc.get e.stamp s - 1 then
     register (s, Vc.get e.stamp s - 1);
   for k = 0 to t.n - 1 do
-    if k <> s && t.delivered.(k) < Vc.get e.stamp k then
+    if k <> s && Vc.get t.delivered k < Vc.get e.stamp k then
       register (k, Vc.get e.stamp k)
   done
 
@@ -129,7 +129,7 @@ let receive t e =
   Metrics.on_receive t.metrics;
   (* Duplicate or stale copies (stamp component not above the delivered
      count) are discarded. *)
-  if Vc.get e.stamp e.sender <= t.delivered.(e.sender) then ()
+  if Vc.get e.stamp e.sender <= Vc.get t.delivered e.sender then ()
   else if deliverable t e then begin
     let woken = ref [] in
     do_deliver t woken e;
@@ -150,10 +150,10 @@ let metrics t = t.metrics
 let clock t =
   (* Own component counts own sends (each send ticks it); the other
      components are the per-origin delivered counts — everything the
-     member has potentially been influenced by. *)
-  let v = Array.copy t.delivered in
-  v.(t.id) <- t.own_sends;
-  Vc.of_array v
+     member has potentially been influenced by.  One allocation: the
+     stamp snapshot itself (the seed path copied the counts and then
+     [of_array] copied them again). *)
+  Vc.with_component t.delivered t.id t.own_sends
 
 module Group = struct
   type 'a t = ('a member, 'a envelope) Sgroup.t

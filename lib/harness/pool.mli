@@ -1,0 +1,63 @@
+(** Fork-based worker pool: the scale-out experiment runner.
+
+    [run ~jobs tasks] shards the task list across [jobs] forked worker
+    processes (static round-robin: worker [w] owns tasks [w], [w+jobs],
+    …), captures each task's stdout+stderr, and streams one JSON result
+    per finished task back over a pipe.  The parent reassembles results
+    into task-list order, so the aggregated output of a parallel run is
+    byte-identical to a sequential one — asserted in
+    [test/test_pool.ml], not just observed.
+
+    [jobs = 1] (the default) runs tasks in the calling process under the
+    same capture discipline.  Implementation is plain
+    [fork]/[pipe]/[select], portable across the 4.14/5.1 CI matrix with
+    no new dependencies; it is not available on platforms without
+    [Unix.fork] (Windows), where callers should stay at [jobs = 1]. *)
+
+type task = { name : string; run : seed:int -> unit }
+
+type status =
+  | Done
+  | Failed of string
+      (** the exception the task raised, or — for tasks a dead worker
+          never finished — which worker death interrupted them *)
+
+type result = {
+  name : string;
+  seed : int;         (** the derived per-task seed the task was given *)
+  status : status;
+  wall_ms : float;
+  gc_minor_words : float;
+      (** minor-heap words the task allocated (worker-local [Gc] delta) *)
+  gc_major_words : float;
+  output : string;    (** captured stdout+stderr, interleaved *)
+}
+
+type report = {
+  results : result list;  (** one per task, in task-list order *)
+  failures : string list; (** names of tasks that did not finish cleanly *)
+  wall_ms : float;        (** whole-sweep wall clock *)
+  jobs : int;
+}
+
+val task : name:string -> (seed:int -> unit) -> task
+
+val seed_for : base:int -> string -> int
+(** The deterministic per-task seed: FNV-1a of the task name folded into
+    the base seed.  A pure function of (base, name) — independent of job
+    count, shard, and OCaml version — so a task sees the same seed
+    however the sweep is parallelised. *)
+
+val ok : result -> bool
+
+val json_of_result : result -> Causalb_util.Json.t
+(** The wire/artifact encoding of one result (the same object the
+    workers stream over their pipes). *)
+
+val result_of_json : Causalb_util.Json.t -> result
+
+val run : ?jobs:int -> ?base_seed:int -> task list -> report
+(** Execute every task; never raises on task failure — inspect
+    [failures].  A worker that dies (signal, [exit], crash) yields
+    [Failed] results naming the task it was running and the tasks it
+    never started. *)

@@ -1,21 +1,18 @@
+(* Frozen PR 3 transport: the eager-allocation hot path kept as the
+   "before" side of the allocation benchmarks.  Trace info strings are
+   built with [Printf.sprintf] whether or not a trace sink is attached,
+   and every scheduled copy allocates a fresh delivery closure.  The
+   live transport in [Causalb_net.Net] builds info strings only under an
+   attached sink and recycles delivery packets through a preallocated
+   free list; [bench/scaling.ml]'s [net.bcast] shape drives both on
+   identical workloads and reports ns and minor-heap words per delivered
+   message. *)
+
 module Engine = Causalb_sim.Engine
 module Latency = Causalb_sim.Latency
 module Trace = Causalb_sim.Trace
 module Rng = Causalb_util.Rng
-
-(* An in-flight copy.  Packets are recycled through a free list so a
-   broadcast fan-out allocates no fresh delivery closure per copy: the
-   [fire] thunk is built once when the packet is first created and
-   captures the packet itself, whose mutable fields are re-filled on
-   every reuse.  A packet returns to the pool (payload cleared, so the
-   pool never retains application data) before its delivery handler
-   runs, making reuse safe under reentrant sends. *)
-type 'a packet = {
-  mutable psrc : int;
-  mutable pdst : int;
-  mutable ppayload : 'a option;
-  mutable fire : unit -> unit;
-}
+module Fault = Causalb_net.Fault
 
 type 'a t = {
   engine : Engine.t;
@@ -33,8 +30,6 @@ type 'a t = {
   mutable dropped : int;
   mutable bytes : int;
   mutable in_flight : int;
-  mutable pool : 'a packet array; (* free packets in [0, pool_len) *)
-  mutable pool_len : int;
 }
 
 let create engine ~nodes ?(latency = Latency.lan) ?(fifo = true)
@@ -56,8 +51,6 @@ let create engine ~nodes ?(latency = Latency.lan) ?(fifo = true)
     dropped = 0;
     bytes = 0;
     in_flight = 0;
-    pool = [||];
-    pool_len = 0;
   }
 
 let engine t = t.engine
@@ -72,12 +65,7 @@ let set_handler t node f =
   check_node t "set_handler" node;
   t.handlers.(node) <- Some f
 
-(* Tracing is off on the hot benchmarking paths, so info strings must
-   never be built eagerly: call sites guard [record] behind [tracing] and
-   only then pay the [Printf.sprintf]. *)
-let tracing t = t.trace <> None
-
-let record t ~node ~kind ~tag ~info =
+let trace t ~node ~kind ~tag ~info =
   match t.trace with
   | None -> ()
   | Some tr ->
@@ -93,49 +81,9 @@ let deliver t ~src ~dst payload =
   match t.handlers.(dst) with
   | Some f ->
     t.delivered <- t.delivered + 1;
-    if tracing t then
-      record t ~node:dst ~kind:Trace.Receive ~tag:""
-        ~info:(Printf.sprintf "from=%d" src);
+    trace t ~node:dst ~kind:Trace.Receive ~tag:"" ~info:(Printf.sprintf "from=%d" src);
     f ~src payload
   | None -> t.dropped <- t.dropped + 1
-
-let release_packet t p =
-  if t.pool_len = Array.length t.pool then begin
-    let cap = max 8 (2 * Array.length t.pool) in
-    let pool = Array.make cap p in
-    Array.blit t.pool 0 pool 0 t.pool_len;
-    t.pool <- pool
-  end;
-  t.pool.(t.pool_len) <- p;
-  t.pool_len <- t.pool_len + 1
-
-let fire_packet t p =
-  let src = p.psrc and dst = p.pdst in
-  let payload =
-    match p.ppayload with Some x -> x | None -> assert false
-  in
-  p.ppayload <- None;
-  (* back on the free list before the handler runs: a handler that sends
-     again may reuse this very packet *)
-  release_packet t p;
-  deliver t ~src ~dst payload
-
-let acquire_packet t ~src ~dst payload =
-  let p =
-    if t.pool_len > 0 then begin
-      t.pool_len <- t.pool_len - 1;
-      t.pool.(t.pool_len)
-    end
-    else begin
-      let p = { psrc = 0; pdst = 0; ppayload = None; fire = ignore } in
-      p.fire <- (fun () -> fire_packet t p);
-      p
-    end
-  in
-  p.psrc <- src;
-  p.pdst <- dst;
-  p.ppayload <- Some payload;
-  p
 
 let schedule_copy t ~src ~dst payload =
   let base = Latency.sample t.rng t.latency in
@@ -157,23 +105,19 @@ let schedule_copy t ~src ~dst payload =
     else arrival
   in
   t.in_flight <- t.in_flight + 1;
-  let p = acquire_packet t ~src ~dst payload in
-  Engine.schedule_at t.engine ~time:arrival p.fire
+  Engine.schedule_at t.engine ~time:arrival (fun () ->
+      deliver t ~src ~dst payload)
 
 let send_copy t ~src ~dst ~size payload =
   t.sent <- t.sent + 1;
   t.bytes <- t.bytes + size;
   if not (reachable t src dst) then begin
     t.dropped <- t.dropped + 1;
-    if tracing t then
-      record t ~node:src ~kind:Trace.Drop ~tag:""
-        ~info:(Printf.sprintf "partition dst=%d" dst)
+    trace t ~node:src ~kind:Trace.Drop ~tag:"" ~info:(Printf.sprintf "partition dst=%d" dst)
   end
   else if Rng.bernoulli t.rng t.fault.Fault.drop_prob then begin
     t.dropped <- t.dropped + 1;
-    if tracing t then
-      record t ~node:src ~kind:Trace.Drop ~tag:""
-        ~info:(Printf.sprintf "loss dst=%d" dst)
+    trace t ~node:src ~kind:Trace.Drop ~tag:"" ~info:(Printf.sprintf "loss dst=%d" dst)
   end
   else begin
     schedule_copy t ~src ~dst payload;
@@ -184,14 +128,12 @@ let send_copy t ~src ~dst ~size payload =
 let send t ~src ~dst ?(size = 1) payload =
   check_node t "send" src;
   check_node t "send" dst;
-  if tracing t then
-    record t ~node:src ~kind:Trace.Send ~tag:""
-      ~info:(Printf.sprintf "dst=%d" dst);
+  trace t ~node:src ~kind:Trace.Send ~tag:"" ~info:(Printf.sprintf "dst=%d" dst);
   send_copy t ~src ~dst ~size payload
 
 let broadcast t ~src ?(self = true) ?(size = 1) payload =
   check_node t "broadcast" src;
-  if tracing t then record t ~node:src ~kind:Trace.Send ~tag:"" ~info:"bcast";
+  trace t ~node:src ~kind:Trace.Send ~tag:"" ~info:"bcast";
   for dst = 0 to t.n - 1 do
     if dst <> src then send_copy t ~src ~dst ~size payload
   done;
@@ -200,8 +142,7 @@ let broadcast t ~src ?(self = true) ?(size = 1) payload =
     t.in_flight <- t.in_flight + 1;
     (* Local copy: processed at the same virtual instant, after the
        current callback returns. *)
-    let p = acquire_packet t ~src ~dst:src payload in
-    Engine.schedule t.engine ~delay:0.0 p.fire
+    Engine.schedule t.engine ~delay:0.0 (fun () -> deliver t ~src ~dst:src payload)
   end
 
 let set_fault t fault = t.fault <- fault

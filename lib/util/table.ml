@@ -1,10 +1,17 @@
 type t = {
   title : string;
   columns : string list;
+  mutable fixed : int list option;
+      (* authoritative column widths, for part rendering *)
   mutable rows : string list list; (* reversed *)
 }
 
-let create ~title ~columns = { title; columns; rows = [] }
+let create ~title ~columns = { title; columns; fixed = None; rows = [] }
+
+let set_widths t w =
+  if List.length w <> List.length t.columns then
+    invalid_arg "Table.set_widths: widths arity differs from columns";
+  t.fixed <- Some w
 
 let add_row t row =
   if List.length row <> List.length t.columns then
@@ -17,36 +24,67 @@ let add_rowf t fmt =
   Printf.ksprintf (fun s -> add_row t (String.split_on_char '\t' s)) fmt
 
 let widths t =
-  let all = t.columns :: List.rev t.rows in
-  let ncols = List.length t.columns in
-  let w = Array.make ncols 0 in
-  let measure row =
-    List.iteri (fun i cell -> w.(i) <- max w.(i) (String.length cell)) row
-  in
-  List.iter measure all;
-  w
+  match t.fixed with
+  | Some w -> Array.of_list w
+  | None ->
+    let all = t.columns :: List.rev t.rows in
+    let ncols = List.length t.columns in
+    let w = Array.make ncols 0 in
+    let measure row =
+      List.iteri (fun i cell -> w.(i) <- max w.(i) (String.length cell)) row
+    in
+    List.iter measure all;
+    w
 
 let pad width s = s ^ String.make (max 0 (width - String.length s)) ' '
+
+let add_line buf w ch =
+  Array.iter
+    (fun width -> Buffer.add_string buf ("+" ^ String.make (width + 2) ch))
+    w;
+  Buffer.add_string buf "+\n"
+
+let add_cells buf w cells =
+  List.iteri
+    (fun i cell -> Buffer.add_string buf (Printf.sprintf "| %s " (pad w.(i) cell)))
+    cells;
+  Buffer.add_string buf "|\n"
 
 let render t =
   let w = widths t in
   let buf = Buffer.create 512 in
-  let line ch =
-    Array.iter (fun width -> Buffer.add_string buf ("+" ^ String.make (width + 2) ch)) w;
-    Buffer.add_string buf "+\n"
-  in
-  let row cells =
-    List.iteri
-      (fun i cell -> Buffer.add_string buf (Printf.sprintf "| %s " (pad w.(i) cell)))
-      cells;
-    Buffer.add_string buf "|\n"
-  in
   Buffer.add_string buf (Printf.sprintf "== %s ==\n" t.title);
-  line '-';
-  row t.columns;
-  line '=';
-  List.iter row (List.rev t.rows);
-  line '-';
+  add_line buf w '-';
+  add_cells buf w t.columns;
+  add_line buf w '=';
+  List.iter (add_cells buf w) (List.rev t.rows);
+  add_line buf w '-';
+  Buffer.contents buf
+
+(* Part rendering, for experiments sharded across worker processes: with
+   fixed widths, header / rows / footer rendered separately concatenate
+   to exactly [render], so independently captured chunks reassemble into
+   one table. *)
+
+let render_header t =
+  let w = widths t in
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf (Printf.sprintf "== %s ==\n" t.title);
+  add_line buf w '-';
+  add_cells buf w t.columns;
+  add_line buf w '=';
+  Buffer.contents buf
+
+let render_data_rows t =
+  let w = widths t in
+  let buf = Buffer.create 128 in
+  List.iter (add_cells buf w) (List.rev t.rows);
+  Buffer.contents buf
+
+let render_footer t =
+  let w = widths t in
+  let buf = Buffer.create 64 in
+  add_line buf w '-';
   Buffer.contents buf
 
 let print t =

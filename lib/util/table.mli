@@ -9,6 +9,15 @@ type t
 val create : title:string -> columns:string list -> t
 (** A table with a caption and named columns. *)
 
+val set_widths : t -> int list -> unit
+(** Fix the column widths (one entry per column): rendering then uses
+    these instead of measuring content, which lets separately rendered
+    parts ({!render_header}, {!render_data_rows}, {!render_footer}) line
+    up when a table is assembled from chunks produced by different
+    worker processes.  Cells wider than their fixed width are not
+    truncated (that row just overflows).
+    @raise Invalid_argument when the arity differs from [columns]. *)
+
 val add_row : t -> string list -> unit
 (** Appends a row.  @raise Invalid_argument if the arity differs from the
     column count. *)
@@ -19,6 +28,17 @@ val add_rowf : t -> ('a, unit, string, unit) format4 -> 'a
 
 val render : t -> string
 (** Aligned, boxed rendering including the title. *)
+
+val render_header : t -> string
+(** Title, top rule, column row and separator only.  With fixed [widths],
+    [render_header t ^ render_data_rows t ^ render_footer t = render t] —
+    the contract the sharded experiments rely on. *)
+
+val render_data_rows : t -> string
+(** Just the data rows (no title, rules or column row). *)
+
+val render_footer : t -> string
+(** Just the closing rule. *)
 
 val print : t -> unit
 (** [render] to stdout followed by a blank line. *)

@@ -32,6 +32,9 @@ let test_lamport_clock_condition () =
   let b = Lamport.receive ~local:Lamport.zero ~remote:a in
   check "clock condition" true (Lamport.compare a b < 0)
 
+let prop ~name ~count gen p =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen p)
+
 (* --- Vector clocks --- *)
 
 let test_vc_create () =
@@ -94,6 +97,83 @@ let test_vc_happens_before_characterisation () =
   check "e2 < e3" true (Vc.lt p1 p2);
   check "e1 < e3 (transitive)" true (Vc.lt p0 p2)
 
+(* --- in-place operations: must agree with the pure ones --- *)
+
+let test_vc_copy_independent () =
+  let v = Vc.of_array [| 1; 2; 3 |] in
+  let c = Vc.copy v in
+  Vc.bump c 0;
+  check_int "copy bumped" 2 (Vc.get c 0);
+  check_int "original untouched" 1 (Vc.get v 0)
+
+let test_vc_merge_into () =
+  let a = Vc.of_array [| 1; 5; 2 |] and b = Vc.of_array [| 3; 1; 2 |] in
+  let into = Vc.copy a in
+  Vc.merge_into ~into b;
+  check "merge_into = merge" true (Vc.equal into (Vc.merge a b));
+  check "source untouched" true (Vc.equal b (Vc.of_array [| 3; 1; 2 |]))
+
+let test_vc_receive_into () =
+  let local = Vc.of_array [| 2; 0; 4 |] in
+  let remote = Vc.of_array [| 1; 3; 4 |] in
+  let expected = Vc.receive ~local ~remote ~me:1 in
+  let l = Vc.copy local in
+  Vc.receive_into ~local:l ~remote ~me:1;
+  check "receive_into = receive" true (Vc.equal l expected)
+
+let test_vc_with_component () =
+  let v = Vc.of_array [| 4; 7; 1 |] in
+  let w = Vc.with_component v 1 99 in
+  check "swapped" true (Vc.equal w (Vc.of_array [| 4; 99; 1 |]));
+  check "original untouched" true (Vc.equal v (Vc.of_array [| 4; 7; 1 |]))
+
+(* random clock pairs of equal size *)
+let vc_pair_gen =
+  QCheck2.Gen.(
+    int_range 1 16 >>= fun n ->
+    let comp = int_range 0 50 in
+    pair (array_size (return n) comp) (array_size (return n) comp))
+
+let prop_merge_into_agrees =
+  prop ~name:"merge_into agrees with merge" ~count:200 vc_pair_gen
+    (fun (a, b) ->
+      let va = Vc.of_array a and vb = Vc.of_array b in
+      let into = Vc.copy va in
+      Vc.merge_into ~into vb;
+      Vc.equal into (Vc.merge va vb))
+
+let prop_receive_into_agrees =
+  prop ~name:"receive_into agrees with receive" ~count:200
+    QCheck2.Gen.(pair vc_pair_gen (int_range 0 1000))
+    (fun ((a, b), k) ->
+      let me = k mod Array.length a in
+      let local = Vc.of_array a and remote = Vc.of_array b in
+      let expected = Vc.receive ~local ~remote ~me in
+      let l = Vc.copy local in
+      Vc.receive_into ~local:l ~remote ~me;
+      Vc.equal l expected)
+
+let prop_with_component_agrees =
+  prop ~name:"with_component = functional update" ~count:200
+    QCheck2.Gen.(pair vc_pair_gen (int_range 0 1000))
+    (fun ((a, _), k) ->
+      let i = k mod Array.length a in
+      let v = Vc.of_array a in
+      let w = Vc.with_component v i 123 in
+      let expected = Array.copy a in
+      expected.(i) <- 123;
+      Vc.equal w (Vc.of_array expected) && Vc.equal v (Vc.of_array a))
+
+let prop_bump_agrees =
+  prop ~name:"bump agrees with tick" ~count:200
+    QCheck2.Gen.(pair vc_pair_gen (int_range 0 1000))
+    (fun ((a, _), k) ->
+      let i = k mod Array.length a in
+      let v = Vc.of_array a in
+      let expected = Vc.tick v i in
+      Vc.bump v i;
+      Vc.equal v expected)
+
 (* --- Matrix clocks --- *)
 
 let test_mc_create () =
@@ -150,6 +230,17 @@ let () =
           Alcotest.test_case "size mismatch" `Quick test_vc_size_mismatch;
           Alcotest.test_case "dominates_all" `Quick test_vc_dominates_all;
           Alcotest.test_case "happens-before" `Quick test_vc_happens_before_characterisation;
+        ] );
+      ( "vector in-place",
+        [
+          Alcotest.test_case "copy independent" `Quick test_vc_copy_independent;
+          Alcotest.test_case "merge_into" `Quick test_vc_merge_into;
+          Alcotest.test_case "receive_into" `Quick test_vc_receive_into;
+          Alcotest.test_case "with_component" `Quick test_vc_with_component;
+          prop_merge_into_agrees;
+          prop_receive_into_agrees;
+          prop_with_component_agrees;
+          prop_bump_agrees;
         ] );
       ( "matrix",
         [

@@ -1,0 +1,216 @@
+(* Tests for the fork-based worker pool and the experiment runner built
+   on it.
+
+   The headline property: a parallel run is byte-identical to a
+   sequential one.  [Pool.run ~jobs:4] must yield the same JSON-encoded
+   results (per task: name, seed, status, captured output) as
+   [Pool.run ~jobs:1], and the assembled sweep output of
+   [Runner.run ~jobs:4] must equal the [~jobs:1] bytes.  Failure
+   handling: a worker that dies mid-shard surfaces a non-zero story
+   naming the task it was running and the tasks it never started. *)
+
+module Pool = Causalb_harness.Pool
+module Json = Causalb_util.Json
+module Registry = Causalb_bench.Registry
+module Runner = Causalb_bench.Runner
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* A deterministic task: output depends only on (name, seed). *)
+let noisy_task name =
+  Pool.task ~name (fun ~seed ->
+      Printf.printf "%s computed %d\n" name (seed * 3);
+      Printf.eprintf "%s stderr line\n" name;
+      print_string (String.concat "," (List.init 5 string_of_int));
+      print_newline ())
+
+let task_names = [ "alpha"; "beta"; "gamma"; "delta"; "epsilon"; "zeta"; "eta" ]
+
+(* The canonical encoding of a whole report's results: what the byte
+   comparison runs over. *)
+let encode report =
+  String.concat "\n"
+    (List.map
+       (fun r -> Json.to_string (Pool.json_of_result r))
+       report.Pool.results)
+
+let strip_walls report =
+  (* wall/gc fields are timing, not semantics; zero them so the JSON
+     comparison is exact rather than approximate *)
+  {
+    report with
+    Pool.results =
+      List.map
+        (fun r -> { r with Pool.wall_ms = 0.0; gc_minor_words = 0.0;
+                    gc_major_words = 0.0 })
+        report.Pool.results;
+  }
+
+let test_parallel_matches_sequential () =
+  let tasks () = List.map noisy_task task_names in
+  let r1 = Pool.run ~jobs:1 ~base_seed:7 (tasks ()) in
+  let r4 = Pool.run ~jobs:4 ~base_seed:7 (tasks ()) in
+  check "no failures j1" true (r1.Pool.failures = []);
+  check "no failures j4" true (r4.Pool.failures = []);
+  check_str "JSON byte-identical -j4 vs -j1"
+    (encode (strip_walls r1))
+    (encode (strip_walls r4))
+
+let test_seed_independent_of_jobs () =
+  let seeds report =
+    List.map (fun r -> (r.Pool.name, r.Pool.seed)) report.Pool.results
+  in
+  let tasks () = List.map noisy_task task_names in
+  let r1 = Pool.run ~jobs:1 ~base_seed:11 (tasks ()) in
+  let r3 = Pool.run ~jobs:3 ~base_seed:11 (tasks ()) in
+  check "same (name, seed) pairs" true (seeds r1 = seeds r3);
+  (* and the seed really is per-name: distinct names, distinct seeds *)
+  let distinct = List.sort_uniq compare (List.map snd (seeds r1)) in
+  check_int "distinct seeds" (List.length task_names) (List.length distinct)
+
+let test_empty_and_singleton () =
+  let r = Pool.run ~jobs:4 ~base_seed:1 [] in
+  check "empty run ok" true (r.Pool.results = [] && r.Pool.failures = []);
+  let r =
+    Pool.run ~jobs:4 ~base_seed:1 [ noisy_task "only" ]
+  in
+  check_int "one result" 1 (List.length r.Pool.results);
+  check "one ok" true (List.for_all Pool.ok r.Pool.results)
+
+let test_oversubscribed () =
+  (* more workers than tasks: every task still runs exactly once *)
+  let tasks = List.map noisy_task [ "a"; "b"; "c" ] in
+  let r = Pool.run ~jobs:8 ~base_seed:3 tasks in
+  check_int "three results" 3 (List.length r.Pool.results);
+  check "all ok" true (List.for_all Pool.ok r.Pool.results);
+  check "order preserved" true
+    (List.map (fun x -> x.Pool.name) r.Pool.results = [ "a"; "b"; "c" ])
+
+let test_task_exception_is_isolated () =
+  let tasks =
+    [
+      noisy_task "fine";
+      Pool.task ~name:"boom" (fun ~seed:_ -> failwith "deliberate");
+      noisy_task "also-fine";
+    ]
+  in
+  let r = Pool.run ~jobs:2 ~base_seed:5 tasks in
+  check "failure recorded" true (r.Pool.failures = [ "boom" ]);
+  check_int "all three reported" 3 (List.length r.Pool.results);
+  let boom = List.nth r.Pool.results 1 in
+  check "failure message kept" true
+    (match boom.Pool.status with
+    | Pool.Failed m -> String.length m > 0
+    | Pool.Done -> false);
+  check "neighbours unaffected" true
+    (Pool.ok (List.nth r.Pool.results 0) && Pool.ok (List.nth r.Pool.results 2))
+
+let test_worker_crash_names_tasks () =
+  (* [Unix._exit] kills the whole worker process: with jobs = 2 and
+     round-robin sharding, worker 0 owns tasks 0 and 2 — it dies inside
+     task 0, so task 0 is "while running" and task 2 "before started";
+     worker 1's task 1 survives. *)
+  let tasks =
+    [
+      Pool.task ~name:"dies" (fun ~seed:_ -> Unix._exit 9);
+      noisy_task "survivor";
+      noisy_task "orphaned";
+    ]
+  in
+  let r = Pool.run ~jobs:2 ~base_seed:5 tasks in
+  check "both shard tasks failed" true
+    (List.sort compare r.Pool.failures = [ "dies"; "orphaned" ]);
+  let find n = List.find (fun x -> x.Pool.name = n) r.Pool.results in
+  let msg n =
+    match (find n).Pool.status with Pool.Failed m -> m | Pool.Done -> ""
+  in
+  let contains hay needle =
+    let lh = String.length hay and ln = String.length needle in
+    let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+    go 0
+  in
+  check "names the dying task" true (contains (msg "dies") "\"dies\"");
+  check "blames exit code" true (contains (msg "dies") "code 9");
+  check "orphan marked not-started" true
+    (contains (msg "orphaned") "before \"orphaned\" started");
+  check "survivor delivered" true (Pool.ok (find "survivor"))
+
+(* --- the runner on the real registry --- *)
+
+let test_runner_sweep_byte_identical () =
+  (* a representative slice of the real registry, T1's split included;
+     cheap experiments keep the test quick *)
+  let exps =
+    List.filter_map Registry.find [ "T3"; "A3"; "T5" ]
+  in
+  check "picked three" true (List.length exps = 3);
+  let o1 = Runner.run ~jobs:1 ~base_seed:42 exps in
+  let o4 = Runner.run ~jobs:4 ~base_seed:42 exps in
+  check "no failures" true
+    (o1.Runner.report.Pool.failures = [] && o4.Runner.report.Pool.failures = []);
+  check "assembled output non-trivial" true
+    (String.length o1.Runner.stdout_text > 200);
+  check_str "sweep bytes identical -j4 vs -j1" o1.Runner.stdout_text
+    o4.Runner.stdout_text
+
+let test_t1_parts_concatenate () =
+  (* the split experiment's parts reassemble into one well-formed table:
+     header+rows+footer widths all agree *)
+  match Registry.find "T1" with
+  | None -> Alcotest.fail "T1 not registered"
+  | Some e ->
+    check "T1 is split" true (List.length e.Registry.parts > 2);
+    let names = List.map (fun p -> p.Registry.pname) e.Registry.parts in
+    check "part names are namespaced" true
+      (List.for_all
+         (fun n -> String.length n > 3 && String.sub n 0 3 = "T1:")
+         names)
+
+let test_json_roundtrip () =
+  let r =
+    {
+      Pool.name = "x";
+      seed = 123;
+      status = Pool.Failed "worker exited with code 9 while running \"x\"";
+      wall_ms = 1.5;
+      gc_minor_words = 42.0;
+      gc_major_words = 7.0;
+      output = "line1\n\"quoted\"\tand unicode: \xe2\x80\x94\n";
+    }
+  in
+  let r' = Pool.result_of_json (Json.of_string (Json.to_string (Pool.json_of_result r))) in
+  check "roundtrip" true (r = r')
+
+let () =
+  Alcotest.run "pool"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "j4 JSON = j1 JSON" `Quick
+            test_parallel_matches_sequential;
+          Alcotest.test_case "seeds independent of jobs" `Quick
+            test_seed_independent_of_jobs;
+          Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+        ] );
+      ( "sharding",
+        [
+          Alcotest.test_case "empty and singleton" `Quick
+            test_empty_and_singleton;
+          Alcotest.test_case "oversubscribed" `Quick test_oversubscribed;
+        ] );
+      ( "failure",
+        [
+          Alcotest.test_case "task exception isolated" `Quick
+            test_task_exception_is_isolated;
+          Alcotest.test_case "worker crash names tasks" `Quick
+            test_worker_crash_names_tasks;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "sweep bytes j4 = j1" `Quick
+            test_runner_sweep_byte_identical;
+          Alcotest.test_case "T1 split parts" `Quick test_t1_parts_concatenate;
+        ] );
+    ]
