@@ -57,6 +57,9 @@ let all : experiment list =
     mono "A4" "ablation: OR-dependency (first-response) extension" Exp_a4.run;
     mono "S1" "ordering stack: one workload over every composition"
       Exp_s1.run;
+    mono "O1"
+      "spec-derived objects: counter pipeline, or-set cart, rga collab edit"
+      Exp_o1.run;
     mono "micro" ~kind:Timing "bechamel micro-benchmarks of the hot paths"
       Micro.run;
     mono "scaling" ~kind:Timing

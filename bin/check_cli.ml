@@ -8,6 +8,7 @@
 
      causalb-check                          # all compositions, S1 params
      causalb-check --spec osend --spec bss  # a subset
+     causalb-check --objects                # audit the O1 object runs
      causalb-check --self-test              # seed violations, assert caught *)
 
 open Cmdliner
@@ -21,6 +22,10 @@ module Diag = Causalb_check.Diag
 module Trace_check = Causalb_check.Trace_check
 module Spec_lint = Causalb_check.Spec_lint
 module Mutate = Causalb_check.Mutate
+module Seq_spec = Causalb_data.Seq_spec
+module Objects = Causalb_data.Objects
+module Commute_lint = Causalb_data.Commute_lint
+module Rng = Causalb_util.Rng
 
 let all_specs ops =
   [
@@ -101,6 +106,64 @@ let run_audits ~seed ~sigma ~replicas ~ops ~window ~spacing ~verbose specs =
     1
   end
 
+(* --- object mode: audit the spec-derived object workloads ------------ *)
+
+(* The same builders and per-object seeds as bench experiment O1
+   (seed, seed+1, seed+2 = 42,43,44 by default), so this audits
+   byte-for-byte the runs the experiment prints. *)
+let run_objects ~seed ~replicas ~verbose () =
+  let rounds = 24 and window = 6 in
+  Printf.printf
+    "object oracle: replicas=%d rounds=%d window=%d seed=%d\n\n" replicas
+    rounds window seed;
+  let audit name cid (r : Drivers.object_result) =
+    let ok = Drivers.object_ok r in
+    Printf.printf "%-18s Cid={%s}  cycles=%-4d marks=%-4d trace=%-6d %s\n" name
+      cid r.Drivers.cycles r.Drivers.stable_marks
+      (Trace.length r.Drivers.trace)
+      (if ok then "ok"
+       else
+         Printf.sprintf "FAILED (%d diagnostics)"
+           (List.length r.Drivers.diagnostics));
+    if verbose || not ok then begin
+      List.iter
+        (fun (n, v) -> if not v then Printf.printf "    check failed: %s\n" n)
+        r.Drivers.checks;
+      List.iter
+        (fun d -> print_endline ("    " ^ Diag.to_string d))
+        r.Drivers.diagnostics
+    end;
+    ok
+  in
+  let cid spec = String.concat "," (Seq_spec.cid_classes spec) in
+  let counter =
+    audit "counter-pipeline" (cid Objects.Counter.spec)
+      (Drivers.run_object ~seed ~replicas ~machine:Objects.Counter.machine
+         (Drivers.counter_pipeline ~replicas ~rounds ~window ()))
+  in
+  let cart =
+    audit "or-set-cart" (cid Objects.Or_set.spec)
+      (Drivers.run_object ~seed:(seed + 1) ~replicas
+         ~machine:Objects.Or_set.machine
+         (Drivers.cart_workload ~replicas ~rounds ~window ()))
+  in
+  let edit =
+    audit "rga-collab-edit" (cid Objects.Rga.spec)
+      (Drivers.run_object ~seed:(seed + 2) ~replicas
+         ~machine:Objects.Rga.machine
+         (Drivers.editing_workload ~replicas ~rounds ~window ()))
+  in
+  let oks = [ counter; cart; edit ] in
+  print_newline ();
+  if List.for_all Fun.id oks then begin
+    print_endline "all object workloads passed the ordering oracle";
+    0
+  end
+  else begin
+    print_endline "object ordering violations found";
+    1
+  end
+
 (* --- self-test: seed violations, assert every checker objects -------- *)
 
 let self_test ~seed ~sigma ~replicas ~ops ~window ~spacing () =
@@ -129,8 +192,8 @@ let self_test ~seed ~sigma ~replicas ~ops ~window ~spacing () =
   let osend = audit_of Drivers.Osend_stack in
   let merge = audit_of Drivers.Osend_merge in
   let fifo = audit_of Drivers.Fifo_only in
-  let g a = a.Drivers.graph in
-  let tr a = a.Drivers.trace in
+  let g (a : Drivers.stack_audit) = a.Drivers.graph in
+  let tr (a : Drivers.stack_audit) = a.Drivers.trace in
   case "causal: delivery before ancestor"
     (Option.map
        (fun (t, _, _) -> t)
@@ -170,6 +233,45 @@ let self_test ~seed ~sigma ~replicas ~ops ~window ~spacing () =
       match Spec_lint.lint (Mutate.drop_label graph v) with
       | [] -> Error "lint accepted the broken specification"
       | i :: _ -> Ok (Spec_lint.issue_to_string i)));
+  (* The commute lint: the derived Cid labeling rests on the declared
+     commutativity relations, so (a) every shipped spec must discharge
+     its declared-commuting pairs from reachable states, and (b) a
+     deliberately mislabeled relation must be caught. *)
+  print_endline
+    "\ncommute lint: declared-commuting pairs vs commute_at from reachable states";
+  List.iter
+    (fun r ->
+      Printf.printf "  %s\n" (Format.asprintf "%a" Commute_lint.pp_report r);
+      if not (Commute_lint.ok r) then incr failures)
+    (Commute_lint.suite ~seed);
+  let lying_spec =
+    (* an int register whose relation lies: "set" declared commuting *)
+    Seq_spec.make ~name:"lying-register" ~init:0
+      ~apply:(fun s op -> match op with `Inc n -> s + n | `Set n -> n)
+      ~equal:Int.equal
+      ~classes:[ "inc"; "set" ]
+      ~class_of:(function `Inc _ -> "inc" | `Set _ -> "set")
+      ~commutes:(fun _ _ -> true)
+      ~pp_op:(fun ppf op ->
+        match op with
+        | `Inc n -> Format.fprintf ppf "inc(%d)" n
+        | `Set n -> Format.fprintf ppf "set(%d)" n)
+      ~pp_state:Format.pp_print_int ()
+  in
+  let gen_lying r =
+    if Rng.bool r then `Inc (1 + Rng.int r 9) else `Set (Rng.int r 50)
+  in
+  report "commute-lint: mislabeled relation"
+    (match
+       (Commute_lint.check lying_spec ~gen_op:gen_lying ~seed ()).Commute_lint
+       .violations
+     with
+    | [] -> Error "lint accepted a relation that declares set/set commuting"
+    | v :: _ ->
+      Ok
+        (Printf.sprintf "(%s,%s) at %s: %s vs %s" v.Commute_lint.class_a
+           v.Commute_lint.class_b v.Commute_lint.state v.Commute_lint.op_a
+           v.Commute_lint.op_b));
   print_newline ();
   if !failures = 0 then begin
     print_endline "self-test passed: every seeded violation was caught";
@@ -220,6 +322,14 @@ let self_test_flag =
   in
   Arg.(value & flag & info [ "self-test" ] ~doc)
 
+let objects_flag =
+  let doc =
+    "Audit the spec-derived object workloads (the O1 bench runs: counter \
+     pipeline, or-set cart, rga collaborative edit) instead: online \
+     Service checks plus the offline oracle over each trace."
+  in
+  Arg.(value & flag & info [ "objects" ] ~doc)
+
 let spec_args =
   let doc =
     "Composition(s) to audit: fifo, bss, psync, osend, merge, counted, \
@@ -227,8 +337,9 @@ let spec_args =
   in
   Arg.(value & opt_all string [] & info [ "spec" ] ~docv:"SPEC" ~doc)
 
-let main seed sigma replicas ops window spacing verbose self specs =
+let main seed sigma replicas ops window spacing verbose self objects specs =
   if self then self_test ~seed ~sigma ~replicas ~ops ~window ~spacing ()
+  else if objects then run_objects ~seed ~replicas ~verbose ()
   else
     let chosen =
       if specs = [] then Ok (all_specs ops)
@@ -267,6 +378,6 @@ let cmd =
   Cmd.v info
     Term.(
       const main $ seed $ sigma $ replicas $ ops $ window $ spacing $ verbose
-      $ self_test_flag $ spec_args)
+      $ self_test_flag $ objects_flag $ spec_args)
 
 let () = exit (Cmd.eval' cmd)

@@ -28,6 +28,22 @@ let first_disagreement ~machine replicas =
 let agreement_at_stable_points ~machine replicas =
   first_disagreement ~machine replicas = None
 
+let stable_digests_agree ~machine replicas =
+  let digests r =
+    List.map
+      (fun c -> machine.State_machine.digest c.Replica.end_state)
+      (Replica.cycles r)
+  in
+  match List.map digests replicas with
+  | [] | [ _ ] -> true
+  | first :: rest ->
+    let rec agree a b =
+      match (a, b) with
+      | [], _ | _, [] -> true
+      | x :: xs, y :: ys -> x = y && agree xs ys
+    in
+    List.for_all (agree first) rest
+
 let window_sets_agree replicas =
   let sets r =
     List.map

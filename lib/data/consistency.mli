@@ -24,6 +24,20 @@ val agreement_at_stable_points :
 (** Snapshots agree cycle-by-cycle on the common prefix of closed
     cycles. *)
 
+val stable_digests_agree :
+  machine:('op, 'state) State_machine.t ->
+  ('op, 'state) Replica.t list ->
+  bool
+(** Cycle-by-cycle agreement of the machine's {e canonical} state
+    digests over the common prefix of closed cycles.  Strictly weaker
+    than {!agreement_at_stable_points} on the states themselves, but it
+    is the form the offline checker can audit from a trace alone — the
+    digests are what {!Service} stamps into its stable-point [Mark]
+    records — and it additionally exercises the digest's canonicity:
+    replicas that applied a window in different orders must still emit
+    equal digests whatever internal shape (map balancing, list order)
+    their states carry. *)
+
 val first_disagreement :
   machine:('op, 'state) State_machine.t ->
   ('op, 'state) Replica.t list ->

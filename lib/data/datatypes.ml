@@ -1,3 +1,10 @@
+(* Every datatype is a sequential specification: state, transition
+   function, a class-level commutativity relation, and (optionally)
+   observer classes.  The Cid/Ncid labeling the §6 access protocol needs
+   is DERIVED from the relation by Seq_spec.make — no constructor is
+   hand-marked, and Commute_lint validates each declared-commuting pair
+   against State_machine.commute_at from reachable states. *)
+
 module Int_register = struct
   type op = Inc of int | Dec of int | Set of int | Read
 
@@ -9,9 +16,19 @@ module Int_register = struct
     | Set n -> n
     | Read -> s
 
-  let kind = function
-    | Inc _ | Dec _ -> Op.Commutative
-    | Set _ | Read -> Op.Non_commutative
+  let class_of = function
+    | Inc _ -> "inc"
+    | Dec _ -> "dec"
+    | Set _ -> "set"
+    | Read -> "read"
+
+  (* inc/dec are additions — they commute among themselves; set conflicts
+     with everything including itself; read is the identity (commutes
+     with all) but its return value is order-sensitive: observer. *)
+  let commutes a b =
+    match (a, b) with
+    | "set", _ | _, "set" -> false
+    | _ -> true
 
   let pp_op ppf = function
     | Inc n -> Format.fprintf ppf "inc(%d)" n
@@ -19,9 +36,16 @@ module Int_register = struct
     | Set n -> Format.fprintf ppf "set(%d)" n
     | Read -> Format.pp_print_string ppf "rd"
 
-  let machine =
-    State_machine.make ~name:"int-register" ~init:0 ~apply ~kind
-      ~equal:Int.equal ~pp_state:Format.pp_print_int ~pp_op ()
+  let spec =
+    Seq_spec.make ~name:"int-register" ~init:0 ~apply ~equal:Int.equal
+      ~classes:[ "inc"; "dec"; "set"; "read" ]
+      ~class_of ~commutes
+      ~observer:(String.equal "read")
+      ~observe:(fun s op ->
+        match op with Read -> Some (string_of_int s) | _ -> None)
+      ~pp_state:Format.pp_print_int ~pp_op ()
+
+  let machine = Seq_spec.to_machine spec
 end
 
 module Multi_register = struct
@@ -46,9 +70,20 @@ module Multi_register = struct
     | Set (i, n) -> upd i (fun _ -> n)
     | Read_all -> s
 
-  let kind = function
-    | Inc _ | Dec _ -> Op.Commutative
-    | Set _ | Read_all -> Op.Non_commutative
+  let class_of = function
+    | Inc _ -> "inc"
+    | Dec _ -> "dec"
+    | Set _ -> "set"
+    | Read_all -> "read-all"
+
+  (* Classes are per constructor, not per item: a set on item i commutes
+     with a set on item j ≠ i, but the class-level relation must answer
+     for the same-item case too, so "set" conflicts (conservative — the
+     per-item Item_frontend recovers the lost concurrency by scoping). *)
+  let commutes a b =
+    match (a, b) with
+    | "set", _ | _, "set" -> false
+    | _ -> true
 
   let pp_op ppf = function
     | Inc (i, n) -> Format.fprintf ppf "inc(x%d,%d)" i n
@@ -60,12 +95,22 @@ module Multi_register = struct
     Format.fprintf ppf "[%s]"
       (String.concat ";" (Array.to_list (Array.map string_of_int s)))
 
-  let machine ~items =
-    if items <= 0 then invalid_arg "Multi_register.machine: items <= 0";
-    State_machine.make ~name:"multi-register" ~init:(Array.make items 0)
-      ~apply:(apply items) ~kind
+  let render s =
+    String.concat ";" (Array.to_list (Array.map string_of_int s))
+
+  let spec ~items =
+    if items <= 0 then invalid_arg "Multi_register.spec: items <= 0";
+    Seq_spec.make ~name:"multi-register" ~init:(Array.make items 0)
+      ~apply:(apply items)
       ~equal:(fun a b -> a = b)
+      ~classes:[ "inc"; "dec"; "set"; "read-all" ]
+      ~class_of ~commutes
+      ~observer:(String.equal "read-all")
+      ~observe:(fun s op ->
+        match op with Read_all -> Some (render s) | _ -> None)
       ~pp_state ~pp_op ()
+
+  let machine ~items = Seq_spec.to_machine (spec ~items)
 end
 
 module Kv_store = struct
@@ -80,9 +125,21 @@ module Kv_store = struct
     | Del k -> Smap.remove k s
     | Qry _ -> s
 
-  let kind = function
-    | Upd _ | Del _ -> Op.Non_commutative
-    | Qry _ -> Op.Commutative
+  let class_of = function
+    | Upd _ -> "upd"
+    | Del _ -> "del"
+    | Qry _ -> "qry"
+
+  (* upd conflicts with itself (last writer wins by order) and with del;
+     del/del commute (removals are idempotent unions), and the derivation
+     discovers it — del is Cid here where the hand-marked seed said Ncid.
+     qry is the identity; the name-service protocol layer adds the
+     context check that catches order-sensitive answers, which is why it
+     is deliberately NOT an observer (§5.2). *)
+  let commutes a b =
+    match (a, b) with
+    | "upd", ("upd" | "del") | "del", "upd" -> false
+    | _ -> true
 
   let pp_op ppf = function
     | Upd (k, v) -> Format.fprintf ppf "upd(%s=%s)" k v
@@ -94,9 +151,17 @@ module Kv_store = struct
       (String.concat ","
          (List.map (fun (k, v) -> k ^ "=" ^ v) (Smap.bindings s)))
 
-  let machine =
-    State_machine.make ~name:"kv-store" ~init:Smap.empty ~apply ~kind
-      ~equal:(Smap.equal String.equal) ~pp_state ~pp_op ()
+  let spec =
+    Seq_spec.make ~name:"kv-store" ~init:Smap.empty ~apply
+      ~equal:(Smap.equal String.equal)
+      ~classes:[ "upd"; "del"; "qry" ]
+      ~class_of ~commutes
+      ~observe:(fun s op ->
+        match op with Qry k -> Smap.find_opt k s | _ -> None)
+      ~digest:(fun s -> Hashtbl.hash (Smap.bindings s))
+      ~pp_state ~pp_op ()
+
+  let machine = Seq_spec.to_machine spec
 
   let lookup s k = Smap.find_opt k s
 end
@@ -132,9 +197,15 @@ module Document = struct
       upd i (fun _ -> { body; annotations = String_set.empty })
     | Review -> s
 
-  let kind = function
-    | Annotate _ -> Op.Commutative
-    | Commit _ | Review -> Op.Non_commutative
+  let class_of = function
+    | Annotate _ -> "annotate"
+    | Commit _ -> "commit"
+    | Review -> "review"
+
+  let commutes a b =
+    match (a, b) with
+    | "commit", _ | _, "commit" -> false
+    | _ -> true
 
   let equal a b =
     Array.length a = Array.length b
@@ -162,14 +233,26 @@ module Document = struct
 
   let pp_state ppf s = Format.pp_print_string ppf (render s)
 
-  let machine ~sections =
-    if sections <= 0 then invalid_arg "Document.machine: sections <= 0";
+  let spec ~sections =
+    if sections <= 0 then invalid_arg "Document.spec: sections <= 0";
     let init =
       Array.init sections (fun _ ->
           { body = ""; annotations = String_set.empty })
     in
-    State_machine.make ~name:"document" ~init ~apply:(apply sections) ~kind
-      ~equal ~pp_state ~pp_op ()
+    Seq_spec.make ~name:"document" ~init ~apply:(apply sections) ~equal
+      ~classes:[ "annotate"; "commit"; "review" ]
+      ~class_of ~commutes
+      ~observer:(String.equal "review")
+      ~observe:(fun s op ->
+        match op with Review -> Some (render s) | _ -> None)
+      ~digest:(fun s ->
+        Hashtbl.hash
+          (Array.map
+             (fun sec -> (sec.body, String_set.elements sec.annotations))
+             s))
+      ~pp_state ~pp_op ()
+
+  let machine ~sections = Seq_spec.to_machine (spec ~sections)
 end
 
 module Log = struct
@@ -192,9 +275,14 @@ module Log = struct
       { s with open_ = List.sort_uniq cmp_entry (e :: s.open_) }
     | Seal -> { sealed = s.open_ :: s.sealed; open_ = [] }
 
-  let kind = function
-    | Append _ -> Op.Commutative
-    | Seal -> Op.Non_commutative
+  let class_of = function Append _ -> "append" | Seal -> "seal"
+
+  (* Sealing reads the whole open set (the rotated segment's contents are
+     order-sensitive): observer, hence Ncid. *)
+  let commutes a b =
+    match (a, b) with
+    | "append", "seal" | "seal", "append" -> false
+    | _ -> true
 
   let pp_op ppf = function
     | Append e -> Format.fprintf ppf "append(%d.%d,%S)" e.author e.seq e.text
@@ -204,11 +292,19 @@ module Log = struct
     Format.fprintf ppf "open=%d sealed-segments=%d" (List.length s.open_)
       (List.length s.sealed)
 
-  let machine =
-    State_machine.make ~name:"log" ~init:{ sealed = []; open_ = [] } ~apply
-      ~kind
+  let spec =
+    Seq_spec.make ~name:"log" ~init:{ sealed = []; open_ = [] } ~apply
       ~equal:(fun a b -> a = b)
+      ~classes:[ "append"; "seal" ]
+      ~class_of ~commutes
+      ~observer:(String.equal "seal")
+      ~observe:(fun s op ->
+        match op with
+        | Seal -> Some (Printf.sprintf "sealed %d entries" (List.length s.open_))
+        | _ -> None)
       ~pp_state ~pp_op ()
+
+  let machine = Seq_spec.to_machine spec
 end
 
 module Bank_account = struct
@@ -224,9 +320,19 @@ module Bank_account = struct
       else { s with rejected = s.rejected + 1 }
     | Audit -> s
 
-  let kind = function
-    | Deposit _ | Withdraw _ -> Op.Commutative
-    | Withdraw_checked _ | Audit -> Op.Non_commutative
+  let class_of = function
+    | Deposit _ -> "deposit"
+    | Withdraw _ -> "withdraw"
+    | Withdraw_checked _ -> "withdraw-checked"
+    | Audit -> "audit"
+
+  (* A checked withdrawal is order-sensitive near the balance boundary —
+     against deposits, unconditional withdrawals and other checked
+     withdrawals alike. *)
+  let commutes a b =
+    match (a, b) with
+    | "withdraw-checked", _ | _, "withdraw-checked" -> false
+    | _ -> true
 
   let pp_op ppf = function
     | Deposit n -> Format.fprintf ppf "deposit(%d)" n
@@ -237,12 +343,23 @@ module Bank_account = struct
   let pp_state ppf s =
     Format.fprintf ppf "balance=%d rejected=%d" s.balance s.rejected
 
-  let machine =
-    State_machine.make ~name:"bank-account"
+  let spec =
+    Seq_spec.make ~name:"bank-account"
       ~init:{ balance = 0; rejected = 0 }
-      ~apply ~kind
+      ~apply
       ~equal:(fun a b -> a = b)
+      ~classes:[ "deposit"; "withdraw"; "withdraw-checked"; "audit" ]
+      ~class_of ~commutes
+      ~observer:(String.equal "audit")
+      ~observe:(fun s op ->
+        match op with
+        | Audit ->
+          Some
+            (Printf.sprintf "balance=%d rejected=%d" s.balance s.rejected)
+        | _ -> None)
       ~pp_state ~pp_op ()
+
+  let machine = Seq_spec.to_machine spec
 end
 
 module Card_table = struct
@@ -261,9 +378,14 @@ module Card_table = struct
       { s with table = List.sort cmp_play ((player, card) :: s.table) }
     | Round_end -> { finished = s.table :: s.finished; table = [] }
 
-  let kind = function
-    | Play _ -> Op.Commutative
-    | Round_end -> Op.Non_commutative
+  let class_of = function Play _ -> "play" | Round_end -> "round-end"
+
+  (* Ending a round reads the table (the recorded trick is
+     order-sensitive): observer. *)
+  let commutes a b =
+    match (a, b) with
+    | "play", "round-end" | "round-end", "play" -> false
+    | _ -> true
 
   let pp_op ppf = function
     | Play (p, c) -> Format.fprintf ppf "play(p%d,%s)" p c
@@ -278,9 +400,18 @@ module Card_table = struct
     Format.fprintf ppf "table=%a finished=%d" pp_round s.table
       (List.length s.finished)
 
-  let machine =
-    State_machine.make ~name:"card-table" ~init:{ finished = []; table = [] }
-      ~apply ~kind
+  let spec =
+    Seq_spec.make ~name:"card-table" ~init:{ finished = []; table = [] }
+      ~apply
       ~equal:(fun a b -> a = b)
+      ~classes:[ "play"; "round-end" ]
+      ~class_of ~commutes
+      ~observer:(String.equal "round-end")
+      ~observe:(fun s op ->
+        match op with
+        | Round_end -> Some (Format.asprintf "%a" pp_round s.table)
+        | _ -> None)
       ~pp_state ~pp_op ()
+
+  let machine = Seq_spec.to_machine spec
 end

@@ -1,11 +1,18 @@
-(** The shared-data types used by the paper's examples, packaged as state
-    machines.
+(** The shared-data types used by the paper's examples, packaged as
+    sequential specifications.
 
     Each corresponds to a workload the paper names: the integer with
     inc/dec/read (§2.2, §5.1), multiple independent integer items
     (decomposition of X̄ into items, §5.1), the name-service registry with
     update/query (§5.2), the collaboratively annotated design document
-    (§1, §5.2, ref [11]) and the multiplayer card game (§5.1). *)
+    (§1, §5.2, ref [11]) and the multiplayer card game (§5.1).
+
+    Every module declares a {!Seq_spec.t} — transition function plus a
+    class-level commutativity relation — and its [machine] is
+    [Seq_spec.to_machine spec]: the [Cid]/[Ncid] labeling is {e derived}
+    from the relation, not hand-marked per constructor, and
+    {!Commute_lint} checks the relation against
+    {!State_machine.commute_at} from reachable states. *)
 
 (** Integer data with commutative increment/decrement and non-commutative
     set/read (the paper's running example). *)
@@ -15,9 +22,11 @@ module Int_register : sig
     | Dec of int
     | Set of int   (** overwrite — does not commute with inc/dec *)
     | Read         (** identity on the state; sync because its return
-                       value is order-sensitive *)
+                       value is order-sensitive (observer class) *)
 
   type state = int
+
+  val spec : (op, state) Seq_spec.t
 
   val machine : (op, state) State_machine.t
 
@@ -26,7 +35,9 @@ end
 
 (** A vector of independent integer items: operations on distinct items
     always commute; inc/dec on the same item commute; set/read do not
-    (§5.1's "decomposition of X̄ into distinct items"). *)
+    (§5.1's "decomposition of X̄ into distinct items").  The class-level
+    relation is conservative — "set" conflicts even across items; the
+    per-item front-end recovers that concurrency by scoping windows. *)
 module Multi_register : sig
   type op =
     | Inc of int * int  (** item, amount *)
@@ -36,14 +47,20 @@ module Multi_register : sig
 
   type state = int array
 
+  val spec : items:int -> (op, state) Seq_spec.t
+  (** @raise Invalid_argument if [items <= 0]. *)
+
   val machine : items:int -> (op, state) State_machine.t
   (** @raise Invalid_argument if [items <= 0]. *)
 end
 
-(** Name-service registry (§5.2): non-commutative updates, commutative
+(** Name-service registry (§5.2): conflicting updates, commutative
     queries.  A query is the identity on the state; the protocol layer
     ({!Causalb_protocols.Name_service}) adds the context check that
-    detects order-sensitive query results. *)
+    detects order-sensitive query results, which is why "qry" is
+    deliberately {e not} an observer class here.  The derivation also
+    discovers that deletes commute with each other (removals are
+    idempotent), so [Del] lands in [Cid]. *)
 module Kv_store : sig
   type op =
     | Upd of string * string
@@ -51,6 +68,8 @@ module Kv_store : sig
     | Qry of string
 
   type state = string Map.Make(String).t
+
+  val spec : (op, state) Seq_spec.t
 
   val machine : (op, state) State_machine.t
 
@@ -73,6 +92,8 @@ module Document : sig
 
   type state = section array
 
+  val spec : sections:int -> (op, state) Seq_spec.t
+
   val machine : sections:int -> (op, state) State_machine.t
 
   val render : state -> string
@@ -91,6 +112,8 @@ module Log : sig
     | Seal          (** close the current segment — sync *)
 
   type state = { sealed : entry list list; open_ : entry list }
+
+  val spec : (op, state) Seq_spec.t
 
   val machine : (op, state) State_machine.t
 
@@ -111,6 +134,8 @@ module Bank_account : sig
 
   type state = { balance : int; rejected : int }
 
+  val spec : (op, state) Seq_spec.t
+
   val machine : (op, state) State_machine.t
 end
 
@@ -125,6 +150,8 @@ module Card_table : sig
   type round = (int * string) list (* sorted by player *)
 
   type state = { finished : round list; table : round }
+
+  val spec : (op, state) Seq_spec.t
 
   val machine : (op, state) State_machine.t
 end

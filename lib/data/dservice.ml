@@ -19,8 +19,7 @@ type ('op, 'state) t = {
   nodes : ('op, 'state) node_state array;
   (* shared §6.1 front-end manager; label state dies with each view *)
   mutable manager_vid : int;
-  mutable last_sync : Label.t option;
-  mutable window : Label.t list;
+  win : Window.t;
   mutable parked : (int * 'op) list; (* reversed; submitted mid-change *)
 }
 
@@ -48,22 +47,10 @@ let rec manager_send t ~src op =
   in
   if not at_epoch then t.parked <- (src, op) :: t.parked
   else begin
-    let after =
-      match t.machine.State_machine.kind op with
-      | Op.Commutative -> (
-        match t.last_sync with None -> [] | Some l -> [ l ])
-      | Op.Non_commutative ->
-        if t.window = [] then
-          match t.last_sync with None -> [] | Some l -> [ l ]
-        else List.rev t.window
-    in
+    let kind = t.machine.State_machine.kind op in
+    let after = Window.deps_for t.win ~kind ~fallback:[] in
     match Vgroup.send t.group ~src ~after op with
-    | Some label -> (
-      match t.machine.State_machine.kind op with
-      | Op.Commutative -> t.window <- label :: t.window
-      | Op.Non_commutative ->
-        t.last_sync <- Some label;
-        t.window <- [])
+    | Some label -> Window.note t.win ~kind label
     | None -> t.parked <- (src, op) :: t.parked
   end
 
@@ -79,8 +66,7 @@ let on_view t ~node:_ (v : Vgroup.view) =
   if v.Vgroup.vid > t.manager_vid then begin
     (* labels of the old view are dead; the install is a stable point *)
     t.manager_vid <- v.Vgroup.vid;
-    t.last_sync <- None;
-    t.window <- []
+    Window.reset t.win
   end;
   (* every install may unblock parked submissions from that node *)
   drain_parked t
@@ -115,8 +101,7 @@ let create engine ~nodes:n ~initial ~machine ?latency () =
       machine;
       nodes = node_states;
       manager_vid = 0;
-      last_sync = None;
-      window = [];
+      win = Window.create ();
       parked = [];
     }
   in

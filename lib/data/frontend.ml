@@ -5,40 +5,25 @@ module Label = Causalb_graph.Label
 type 'op t = {
   group : 'op Group.t;
   kind : 'op -> Op.kind;
-  mutable last_sync : Label.t option;
-  mutable window : Label.t list; (* {Cid}, reversed *)
+  win : Window.t;
   mutable submitted : int;
-  mutable cycles : int;
 }
 
 let create group ~kind () =
-  { group; kind; last_sync = None; window = []; submitted = 0; cycles = 0 }
-
-let after_last_sync t =
-  match t.last_sync with None -> Dep.null | Some l -> Dep.after l
+  { group; kind; win = Window.create (); submitted = 0 }
 
 let submit t ~src ?name op =
   t.submitted <- t.submitted + 1;
-  match t.kind op with
-  | Op.Commutative ->
-    let label = Group.osend t.group ~src ?name ~dep:(after_last_sync t) op in
-    t.window <- label :: t.window;
-    label
-  | Op.Non_commutative ->
-    let dep =
-      if t.window = [] then after_last_sync t
-      else Dep.after_all (List.rev t.window)
-    in
-    let label = Group.osend t.group ~src ?name ~dep op in
-    t.last_sync <- Some label;
-    t.window <- [];
-    t.cycles <- t.cycles + 1;
-    label
+  let kind = t.kind op in
+  let dep = Dep.after_all (Window.deps_for t.win ~kind ~fallback:[]) in
+  let label = Group.osend t.group ~src ?name ~dep op in
+  Window.note t.win ~kind label;
+  label
 
 let submitted t = t.submitted
 
-let cycles_opened t = t.cycles
+let cycles_opened t = Window.syncs t.win
 
-let window_size t = List.length t.window
+let window_size t = Window.size t.win
 
-let last_sync t = t.last_sync
+let last_sync t = Window.last_sync t.win

@@ -4,16 +4,11 @@ module Label = Causalb_graph.Label
 
 type scope = Item of int | Global
 
-type item_state = {
-  mutable last_sync : Label.t option;
-  mutable window : Label.t list; (* reversed *)
-}
-
 type 'op t = {
   group : 'op Group.t;
   kind : 'op -> Op.kind;
   scope : 'op -> scope;
-  items : (int, item_state) Hashtbl.t;
+  items : (int, Window.t) Hashtbl.t;
   mutable last_global : Label.t option;
   mutable submitted : int;
 }
@@ -28,47 +23,37 @@ let create group ~kind ~scope () =
     submitted = 0;
   }
 
-let item_state t i =
+let item_window t i =
   match Hashtbl.find_opt t.items i with
-  | Some s -> s
+  | Some w -> w
   | None ->
-    let s = { last_sync = None; window = [] } in
-    Hashtbl.replace t.items i s;
-    s
+    let w = Window.create () in
+    Hashtbl.replace t.items i w;
+    w
 
 (* The anchor of an item with no history of its own is the last global
    sync: everything after a whole-state operation must follow it. *)
-let item_anchor t s =
-  match s.last_sync with
-  | Some l -> [ l ]
-  | None -> ( match t.last_global with Some g -> [ g ] | None -> [])
-
-let outstanding_of_item t s =
-  match s.window with [] -> item_anchor t s | w -> List.rev w
+let global_anchor t =
+  match t.last_global with Some g -> [ g ] | None -> []
 
 let submit t ~src ?name op =
   t.submitted <- t.submitted + 1;
-  match (t.scope op, t.kind op) with
-  | Item i, Op.Commutative ->
-    let s = item_state t i in
-    let dep = Dep.after_all (item_anchor t s) in
+  match t.scope op with
+  | Item i ->
+    let w = item_window t i in
+    let kind = t.kind op in
+    let dep =
+      Dep.after_all (Window.deps_for w ~kind ~fallback:(global_anchor t))
+    in
     let label = Group.osend t.group ~src ?name ~dep op in
-    s.window <- label :: s.window;
+    Window.note w ~kind label;
     label
-  | Item i, Op.Non_commutative ->
-    let s = item_state t i in
-    let dep = Dep.after_all (outstanding_of_item t s) in
-    let label = Group.osend t.group ~src ?name ~dep op in
-    s.last_sync <- Some label;
-    s.window <- [];
-    label
-  | Global, _ ->
+  | Global ->
     (* follows every item's outstanding traffic, then resets the world *)
     let ancestors =
       Hashtbl.fold
-        (fun _ s acc -> outstanding_of_item t s @ acc)
-        t.items
-        (match t.last_global with Some g -> [ g ] | None -> [])
+        (fun _ w acc -> Window.outstanding w ~fallback:(global_anchor t) @ acc)
+        t.items (global_anchor t)
     in
     let dep = Dep.after_all ancestors in
     let label = Group.osend t.group ~src ?name ~dep op in
@@ -80,7 +65,7 @@ let submitted t = t.submitted
 
 let open_window t ~item =
   match Hashtbl.find_opt t.items item with
-  | Some s -> List.length s.window
+  | Some w -> Window.size w
   | None -> 0
 
 let items_tracked t = Hashtbl.length t.items

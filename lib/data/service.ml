@@ -69,7 +69,7 @@ let create engine ~replicas:n ~machine ?latency ?fifo ?fault ?trace () =
           Hashtbl.hash
             ( window,
               Label.to_string (fst cycle.Replica.closed_by),
-              Hashtbl.hash cycle.Replica.end_state )
+              machine.State_machine.digest cycle.Replica.end_state )
         in
         Causalb_sim.Trace.record tr ~time:now ~node:id
           ~kind:Causalb_sim.Trace.Mark
@@ -140,6 +140,8 @@ let check t =
     ("same-delivered-set", Checker.same_set orders);
     ( "stable-point-agreement",
       Consistency.agreement_at_stable_points ~machine:t.machine reps );
+    ( "stable-digests-agree",
+      Consistency.stable_digests_agree ~machine:t.machine reps );
     ("window-sets-agree", Consistency.window_sets_agree reps);
     ( "windows-transition-preserving",
       List.for_all

@@ -4,15 +4,16 @@ type ('op, 'state) t = {
   apply : 'state -> 'op -> 'state;
   kind : 'op -> Op.kind;
   equal : 'state -> 'state -> bool;
+  digest : 'state -> int;
   pp_state : Format.formatter -> 'state -> unit;
   pp_op : Format.formatter -> 'op -> unit;
 }
 
 let default_pp ppf _ = Format.pp_print_string ppf "<opaque>"
 
-let make ~name ~init ~apply ~kind ~equal ?(pp_state = default_pp)
-    ?(pp_op = default_pp) () =
-  { name; init; apply; kind; equal; pp_state; pp_op }
+let make ~name ~init ~apply ~kind ~equal ?(digest = Hashtbl.hash)
+    ?(pp_state = default_pp) ?(pp_op = default_pp) () =
+  { name; init; apply; kind; equal; digest; pp_state; pp_op }
 
 let commute_at m s a b =
   m.equal (m.apply (m.apply s a) b) (m.apply (m.apply s b) a)

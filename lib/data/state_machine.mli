@@ -15,6 +15,10 @@ type ('op, 'state) t = {
   apply : 'state -> 'op -> 'state;  (** the transition function [F] *)
   kind : 'op -> Op.kind;
   equal : 'state -> 'state -> bool;
+  digest : 'state -> int;
+      (** canonical state digest used for stable-point agreement: equal
+          states must digest equally whatever internal representation
+          they carry (map balancing, list order, …) *)
   pp_state : Format.formatter -> 'state -> unit;
   pp_op : Format.formatter -> 'op -> unit;
 }
@@ -25,10 +29,15 @@ val make :
   apply:('state -> 'op -> 'state) ->
   kind:('op -> Op.kind) ->
   equal:('state -> 'state -> bool) ->
+  ?digest:('state -> int) ->
   ?pp_state:(Format.formatter -> 'state -> unit) ->
   ?pp_op:(Format.formatter -> 'op -> unit) ->
   unit ->
   ('op, 'state) t
+(** [digest] defaults to [Hashtbl.hash] — sufficient for states with one
+    canonical representation (ints, tuples of ints); override it for
+    states built on maps or sets, whose internal shape depends on the
+    operation order. *)
 
 val commute_at :
   ('op, 'state) t -> 'state -> 'op -> 'op -> bool

@@ -34,6 +34,19 @@ val submit :
     @raise Invalid_argument on duplicate step names, references to
     undeclared steps, or cyclic ordering. *)
 
+val of_ops :
+  machine:('op, 'state) State_machine.t ->
+  ?prefix:string ->
+  src:(int -> int) ->
+  'op list ->
+  'op step list
+(** The §6.1 access pattern as a workflow: steps named [prefix]{e i} in
+    list order, where each operation the machine derives as [Cid] occurs
+    after the last sync and each [Ncid] operation occurs after the whole
+    open window (the [Ncid_{r−1} → ‖{Cid}_r → Ncid_{r+1}] chain), with
+    [src i] choosing the submitting member of step [i].  Composable with
+    {!submit} and {!graph_of}. *)
+
 val graph_of : 'op step list -> Causalb_graph.Depgraph.t
 (** The R(K) the workflow declares, over fresh anonymous labels — useful
     for analysis (linearization counts, sync points) before running.

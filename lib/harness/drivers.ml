@@ -15,6 +15,8 @@ module Op = Causalb_data.Op
 module Sm = Causalb_data.State_machine
 module Dt = Causalb_data.Datatypes
 module Service = Causalb_data.Service
+module Window = Causalb_data.Window
+module Objects = Causalb_data.Objects
 module Frontend = Causalb_data.Frontend
 module Replica = Causalb_data.Replica
 module Stats = Causalb_util.Stats
@@ -363,8 +365,7 @@ let run_stack ?(seed = 42) ?(latency = default_latency) ?(check = false)
   (* The §6.1 front-end dependency pattern, driven through the stack:
      commutative ops follow the last sync; a sync AND-closes the window.
      Layers that infer their own ordering ignore the predicate. *)
-  let last_sync = ref None in
-  let window = ref [] in
+  let win = Window.create () in
   (* The dependency graph the front-end intends, and its sync points —
      the specification the oracle lints and (for engines that do not
      extract their own graph) audits delivery against. *)
@@ -372,26 +373,16 @@ let run_stack ?(seed = 42) ?(latency = default_latency) ?(check = false)
   let sync_labels = ref Label.Set.empty in
   let submit_op i op =
     let name = Printf.sprintf "op%d" i in
-    let after_sync () =
-      match !last_sync with None -> Dep.null | Some l -> Dep.after l
-    in
-    let dep =
-      if op_is_sync op then
-        if !window = [] then after_sync ()
-        else Dep.after_all (List.rev !window)
-      else after_sync ()
-    in
+    let kind = if op_is_sync op then Op.Non_commutative else Op.Commutative in
+    let dep = Dep.after_all (Window.deps_for win ~kind ~fallback:[]) in
     Hashtbl.replace issue name (Engine.now engine);
     match Stack.submit stack ~src:(i mod replicas) ~name ~dep op with
     | None -> ()
     | Some label ->
       if check then Causalb_graph.Depgraph.add intended label ~dep;
-      if op_is_sync op then begin
+      if op_is_sync op then
         sync_labels := Label.Set.add label !sync_labels;
-        last_sync := Some label;
-        window := []
-      end
-      else window := label :: !window
+      Window.note win ~kind label
   in
   let rng = Engine.fork_rng engine in
   List.iteri
@@ -469,6 +460,135 @@ let run_stack ?(seed = 42) ?(latency = default_latency) ?(check = false)
     sim_time = Engine.now engine;
     audit;
   }
+
+(* --- driver 6: spec-derived objects over the stable-point service ---
+   One replicated object (any sequential spec), a timed submission
+   schedule, and the full evidence chain: Service.check online, plus the
+   offline oracle over the trace (causal safety against member 0's
+   extracted graph, stable-point digest agreement from the Mark
+   records). *)
+
+type object_result = {
+  checks : (string * bool) list;     (* Service.check verdicts *)
+  diagnostics : Causalb_check.Diag.t list; (* offline oracle violations *)
+  trace : Causalb_sim.Trace.t;
+  cycles : int;                      (* closed §6.1 cycles at member 0 *)
+  stable_marks : int;                (* Mark records across all members *)
+  messages : int;
+  sim_time : float;
+}
+
+let object_ok r =
+  List.for_all snd r.checks && r.diagnostics = []
+
+let run_object ?(seed = 42) ?(latency = default_latency) ~replicas ~machine
+    submissions =
+  let engine = Engine.create ~seed () in
+  let trace = Causalb_sim.Trace.create () in
+  let svc = Service.create engine ~replicas ~machine ~latency ~fifo:false ~trace () in
+  List.iter
+    (fun (time, src, op) ->
+      Engine.schedule_at engine ~time (fun () ->
+          ignore (Service.submit svc ~src op)))
+    submissions;
+  Service.run svc;
+  let graph = Osend.graph (Group.member (Service.group svc) 0) in
+  let module C = Causalb_check.Trace_check in
+  let diagnostics = C.causal ~graph trace @ C.stable_points trace in
+  let stable_marks = ref 0 in
+  Causalb_sim.Trace.iter trace (fun r ->
+      if r.Causalb_sim.Trace.kind = Causalb_sim.Trace.Mark then
+        incr stable_marks);
+  {
+    checks = Service.check svc;
+    diagnostics;
+    trace;
+    cycles = Replica.cycles_closed (Service.replica svc 0);
+    stable_marks = !stable_marks;
+    messages = Service.messages_sent svc;
+    sim_time = Engine.now engine;
+  }
+
+(* Deterministic object workloads, shared by the bench experiments and
+   the causalb-check CLI so both audit the very same runs.  Times and
+   sources are pure functions of (seed, sizes). *)
+
+let counter_pipeline ?(seed = 11) ~replicas ~rounds ~window () =
+  let rng = Rng.create seed in
+  let ops = ref [] in
+  let t = ref 0.0 in
+  let push src op =
+    ops := (!t, src, op) :: !ops;
+    t := !t +. 1.5
+  in
+  for _ = 1 to rounds do
+    for _ = 1 to window do
+      push (Rng.int rng replicas) (Objects.Counter.Add (1 + Rng.int rng 9))
+    done;
+    push (Rng.int rng replicas) Objects.Counter.Value
+  done;
+  List.rev !ops
+
+let cart_items = [| "book"; "pen"; "mug"; "lamp"; "cable" |]
+
+let cart_workload ?(seed = 12) ~replicas ~rounds ~window () =
+  let rng = Rng.create seed in
+  let tag = ref 0 in
+  let ops = ref [] in
+  let t = ref 0.0 in
+  let push src op =
+    ops := (!t, src, op) :: !ops;
+    t := !t +. 1.5
+  in
+  for _ = 1 to rounds do
+    (* a window of concurrent adds from every shopper … *)
+    for _ = 1 to window do
+      incr tag;
+      push (Rng.int rng replicas)
+        (Objects.Or_set.Add (Rng.pick rng cart_items, !tag))
+    done;
+    (* … closed by an observed-remove (a sync point: it erases exactly
+       the tags it has seen) or a checkout read *)
+    if Rng.bool rng then
+      push (Rng.int rng replicas) (Objects.Or_set.Remove (Rng.pick rng cart_items))
+    else push (Rng.int rng replicas) Objects.Or_set.Elements
+  done;
+  List.rev !ops
+
+let editing_workload ?(seed = 13) ~replicas ~rounds ~window () =
+  let rng = Rng.create seed in
+  let ops = ref [] in
+  let t = ref 0.0 in
+  let push src op =
+    ops := (!t, src, op) :: !ops;
+    t := !t +. 1.5
+  in
+  (* each author types after its own last character; concurrent authors'
+     runs interleave by the RGA order at read time *)
+  let cursor = Array.make replicas None in
+  let next_seq = ref 0 in
+  let live = ref [] in
+  for _ = 1 to rounds do
+    for _ = 1 to window do
+      let src = Rng.int rng replicas in
+      if (not (!live = [])) && Rng.int rng 10 = 0 then begin
+        (* an occasional deletion — still a Cid op for RGA *)
+        let id = Rng.pick_list rng !live in
+        live := List.filter (fun i -> i <> id) !live;
+        push src (Objects.Rga.Delete id)
+      end
+      else begin
+        incr next_seq;
+        let id = (!next_seq, src) in
+        let ch = String.make 1 (Char.chr (97 + Rng.int rng 26)) in
+        push src (Objects.Rga.Insert { id; after = cursor.(src); ch });
+        cursor.(src) <- Some id;
+        live := id :: !live
+      end
+    done;
+    push (Rng.int rng replicas) Objects.Rga.Read
+  done;
+  List.rev !ops
 
 let p50 s = Stats.percentile s 50.0
 

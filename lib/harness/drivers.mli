@@ -121,6 +121,63 @@ val run_stack :
     stable-point digests for OSend compositions), the intended dependency
     spec is linted, and the evidence is returned in [audit]. *)
 
+(** {1 Spec-derived objects over the stable-point service}
+
+    One replicated object — any machine obtained from a
+    {!Causalb_data.Seq_spec} — run over {!Causalb_data.Service} with
+    tracing on, then audited twice: online by [Service.check] (which
+    includes canonical stable-digest agreement) and offline by the
+    ordering oracle over the trace (causal safety against member 0's
+    extracted graph, stable-point digest agreement across members from
+    the [Mark] records). *)
+
+type object_result = {
+  checks : (string * bool) list;  (** [Service.check] verdicts *)
+  diagnostics : Causalb_check.Diag.t list;
+      (** offline oracle violations; empty = clean *)
+  trace : Causalb_sim.Trace.t;
+  cycles : int;        (** closed §6.1 cycles at member 0 *)
+  stable_marks : int;  (** stable-point [Mark] records, all members *)
+  messages : int;
+  sim_time : float;
+}
+
+val object_ok : object_result -> bool
+(** All online checks passed and the oracle found nothing. *)
+
+val run_object :
+  ?seed:int ->
+  ?latency:Causalb_sim.Latency.t ->
+  replicas:int ->
+  machine:('op, 'state) Causalb_data.State_machine.t ->
+  (float * int * 'op) list ->
+  object_result
+(** [run_object ~replicas ~machine submissions] schedules each
+    [(time, src, op)] and runs to quiescence.  Deterministic in all
+    arguments. *)
+
+(** Deterministic object workloads — pure functions of their arguments —
+    shared by the bench experiments (O1) and [causalb-check --objects]
+    so both audit the very same runs. *)
+
+val counter_pipeline :
+  ?seed:int -> replicas:int -> rounds:int -> window:int -> unit ->
+  (float * int * Causalb_data.Objects.Counter.op) list
+(** Rounds of [window] concurrent additions closed by a [Value] read. *)
+
+val cart_workload :
+  ?seed:int -> replicas:int -> rounds:int -> window:int -> unit ->
+  (float * int * Causalb_data.Objects.Or_set.op) list
+(** The shopping cart on the observed-remove set: windows of concurrent
+    adds closed by an observed-remove or a checkout read. *)
+
+val editing_workload :
+  ?seed:int -> replicas:int -> rounds:int -> window:int -> unit ->
+  (float * int * Causalb_data.Objects.Rga.op) list
+(** Collaborative editing on the RGA sequence: each author types after
+    its own cursor (inserts and occasional deletes, all [Cid]), with a
+    shared [Read] closing each round. *)
+
 (** {1 Reporting helpers} *)
 
 val p50 : Causalb_util.Stats.t -> float

@@ -6,6 +6,8 @@ module Dep = Causalb_graph.Dep
 module Label = Causalb_graph.Label
 module Stats = Causalb_util.Stats
 module Smap = Map.Make (String)
+module Seq_spec = Causalb_data.Seq_spec
+module Kv = Causalb_data.Datatypes.Kv_store
 
 type mode = App_check | Total_order
 
@@ -23,7 +25,10 @@ type answer = {
 
 type server = {
   sid : int;
-  mutable registry : string Smap.t;
+  mutable registry : Kv.state;
+      (* registry transitions run through the Kv_store sequential spec;
+         the context check below stays protocol-level — it is the reason
+         the spec leaves "qry" a plain (non-observer) commutative class *)
   mutable last_upd : Label.t Smap.t; (* key -> label of last applied upd *)
 }
 
@@ -42,10 +47,10 @@ type t = {
 
 let apply_at t server ~label ~time = function
   | Upd { key; value; _ } ->
-    server.registry <- Smap.add key value server.registry;
+    server.registry <- Kv.spec.Seq_spec.apply server.registry (Kv.Upd (key, value));
     server.last_upd <- Smap.add key label server.last_upd
   | Qry { uid; key; context } ->
-    let value = Smap.find_opt key server.registry in
+    let value = Kv.lookup (Kv.spec.Seq_spec.apply server.registry (Kv.Qry key)) key in
     let valid =
       match t.mode with
       | Total_order -> true
@@ -69,9 +74,13 @@ let apply_at t server ~label ~time = function
 
 let create engine ~servers:n ~mode ?(latency = Latency.lan) () =
   if n <= 0 then invalid_arg "Name_service.create: servers <= 0";
+  (* the protocol is built for the derived labeling: updates are sync
+     points, queries ride the window under the context check *)
+  assert (not (Seq_spec.is_cid Kv.spec (Kv.Upd ("", ""))));
+  assert (Seq_spec.is_cid Kv.spec (Kv.Qry ""));
   let servers =
     Array.init n (fun sid ->
-        { sid; registry = Smap.empty; last_upd = Smap.empty })
+        { sid; registry = Kv.spec.Seq_spec.init; last_upd = Smap.empty })
   in
   let t_ref = ref None in
   (* Fig. 4's two boxes are two stack compositions: bare causal broadcast
@@ -189,7 +198,7 @@ let final_states_agree t =
   | [] -> true
   | first :: rest ->
     List.for_all
-      (fun s -> Smap.equal String.equal s.registry first.registry)
+      (fun s -> Kv.spec.Seq_spec.equal s.registry first.registry)
       rest
 
 let messages_sent t = Stack.messages_sent t.stack

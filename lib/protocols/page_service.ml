@@ -6,6 +6,7 @@ module Message = Causalb_core.Message
 module Dep = Causalb_graph.Dep
 module Label = Causalb_graph.Label
 module Rng = Causalb_util.Rng
+module Seq_spec = Causalb_data.Seq_spec
 
 type page = { version : int; data : string; writer : int }
 
@@ -35,6 +36,24 @@ type t = {
 }
 
 let initial_page = { version = 0; data = ""; writer = -1 }
+
+(* The replicated page as a sequential spec: one "install" class whose
+   transition keeps the maximum page in the total order (version, writer,
+   data).  Installs therefore always commute — the spec derives the class
+   as [Cid] — and because the token protocol hands out strictly
+   increasing versions, keep-max coincides with install-in-delivery-order
+   (check_versions_monotone audits exactly that). *)
+let page_spec =
+  Seq_spec.make ~name:"page-register" ~init:initial_page
+    ~apply:(fun s p ->
+      if (p.version, p.writer, p.data) > (s.version, s.writer, s.data) then p
+      else s)
+    ~equal:(fun a b -> a = b)
+    ~classes:[ "install" ]
+    ~class_of:(fun _ -> "install")
+    ~commutes:(fun _ _ -> true)
+    ~pp_op:(fun ppf p -> Format.fprintf ppf "v%d by %d" p.version p.writer)
+    ()
 
 let checked_requesters t ~cycle =
   let rs = List.sort_uniq Int.compare (t.requesters ~cycle) in
@@ -93,8 +112,8 @@ let on_lock t view ~label ~member ~cycle =
 
 let on_tfr t view ~label ~position ~cycle ~page =
   table_add view.tfrs cycle (position, label);
-  (* install the holder's write *)
-  view.page <- page;
+  (* install the holder's write through the spec *)
+  view.page <- page_spec.Seq_spec.apply view.page page;
   view.applied_rev <- page :: view.applied_rev;
   let order =
     match List.assoc_opt cycle view.orders with

@@ -109,7 +109,9 @@ let test_run_stack_same_wire_cost () =
   let results =
     List.map (fun s -> Drivers.run_stack ~seed:23 ~replicas:4 s windowed) specs
   in
-  let msgs = List.map (fun r -> r.Drivers.messages) results in
+  let msgs =
+    List.map (fun (r : Drivers.stack_result) -> r.Drivers.messages) results
+  in
   check "identical wire cost" true (List.for_all (( = ) (List.hd msgs)) msgs);
   let osend = Drivers.run_stack ~seed:23 ~replicas:4 Drivers.Osend_stack windowed in
   let merge = Drivers.run_stack ~seed:23 ~replicas:4 Drivers.Osend_merge windowed in
