@@ -68,41 +68,49 @@ let audit_of ~seed ~latency ~replicas ~w spec =
 
 (* --- default mode: audit every composition --------------------------- *)
 
-let run_audits ~seed ~sigma ~replicas ~ops ~window ~spacing ~verbose specs =
+let run_audits ~seed ~sigma ~replicas ~ops ~window ~spacing ~verbose ~json
+    specs =
   let latency = Latency.lognormal ~mu:0.5 ~sigma () in
   let w = { Drivers.ops; spacing; mix = Drivers.Fixed_window window } in
-  Printf.printf
-    "ordering oracle: replicas=%d ops=%d window=%d seed=%d sigma=%.2f\n\n"
-    replicas ops window seed sigma;
+  if not json then
+    Printf.printf
+      "ordering oracle: replicas=%d ops=%d window=%d seed=%d sigma=%.2f\n\n"
+      replicas ops window seed sigma;
   let audit spec =
     let a = audit_of ~seed ~latency ~replicas ~w spec in
-    let nd = List.length a.Drivers.diagnostics in
-    let nl = List.length a.Drivers.lint in
-    let ok = nd = 0 && nl = 0 in
-    Printf.printf "%-18s [%-27s] trace=%-5d lint=%d  %s\n"
-      (Drivers.stack_spec_name spec)
-      (checkers_for spec)
-      (Trace.length a.Drivers.trace)
-      nl
-      (if ok then "ok" else Printf.sprintf "FAILED (%d diagnostics)" nd);
-    if verbose || not ok then begin
+    let diags =
+      a.Drivers.diagnostics
+      @ Spec_lint.to_diags a.Drivers.lint
+      @ a.Drivers.static
+    in
+    let ok = diags = [] in
+    if not json then
+      Printf.printf "%-18s [%-27s] trace=%-5d lint=%d static=%d  %s\n"
+        (Drivers.stack_spec_name spec)
+        (checkers_for spec)
+        (Trace.length a.Drivers.trace)
+        (List.length a.Drivers.lint)
+        (List.length a.Drivers.static)
+        (if ok then "ok"
+         else
+           Printf.sprintf "FAILED (%d diagnostics)"
+             (List.length a.Drivers.diagnostics));
+    if verbose || not ok then
       List.iter
-        (fun d -> print_endline ("    " ^ Diag.to_string d))
-        a.Drivers.diagnostics;
-      List.iter
-        (fun i -> print_endline ("    " ^ Spec_lint.issue_to_string i))
-        a.Drivers.lint
-    end;
+        (fun d ->
+          if json then print_endline (Diag.to_json_line d)
+          else print_endline ("    " ^ Diag.to_string d))
+        diags;
     ok
   in
   let oks = List.map audit specs in
-  print_newline ();
+  if not json then print_newline ();
   if List.for_all Fun.id oks then begin
-    print_endline "all compositions passed the ordering oracle";
+    if not json then print_endline "all compositions passed the ordering oracle";
     0
   end
   else begin
-    print_endline "ordering violations found";
+    if not json then print_endline "ordering violations found";
     1
   end
 
@@ -111,26 +119,32 @@ let run_audits ~seed ~sigma ~replicas ~ops ~window ~spacing ~verbose specs =
 (* The same builders and per-object seeds as bench experiment O1
    (seed, seed+1, seed+2 = 42,43,44 by default), so this audits
    byte-for-byte the runs the experiment prints. *)
-let run_objects ~seed ~replicas ~verbose () =
+let run_objects ~seed ~replicas ~verbose ~json () =
   let rounds = 24 and window = 6 in
-  Printf.printf
-    "object oracle: replicas=%d rounds=%d window=%d seed=%d\n\n" replicas
-    rounds window seed;
+  if not json then
+    Printf.printf
+      "object oracle: replicas=%d rounds=%d window=%d seed=%d\n\n" replicas
+      rounds window seed;
   let audit name cid (r : Drivers.object_result) =
     let ok = Drivers.object_ok r in
-    Printf.printf "%-18s Cid={%s}  cycles=%-4d marks=%-4d trace=%-6d %s\n" name
-      cid r.Drivers.cycles r.Drivers.stable_marks
-      (Trace.length r.Drivers.trace)
-      (if ok then "ok"
-       else
-         Printf.sprintf "FAILED (%d diagnostics)"
-           (List.length r.Drivers.diagnostics));
+    if not json then
+      Printf.printf "%-18s Cid={%s}  cycles=%-4d marks=%-4d trace=%-6d %s\n"
+        name cid r.Drivers.cycles r.Drivers.stable_marks
+        (Trace.length r.Drivers.trace)
+        (if ok then "ok"
+         else
+           Printf.sprintf "FAILED (%d diagnostics)"
+             (List.length r.Drivers.diagnostics));
     if verbose || not ok then begin
+      if not json then
+        List.iter
+          (fun (n, v) ->
+            if not v then Printf.printf "    check failed: %s\n" n)
+          r.Drivers.checks;
       List.iter
-        (fun (n, v) -> if not v then Printf.printf "    check failed: %s\n" n)
-        r.Drivers.checks;
-      List.iter
-        (fun d -> print_endline ("    " ^ Diag.to_string d))
+        (fun d ->
+          if json then print_endline (Diag.to_json_line d)
+          else print_endline ("    " ^ Diag.to_string d))
         r.Drivers.diagnostics
     end;
     ok
@@ -154,13 +168,14 @@ let run_objects ~seed ~replicas ~verbose () =
          (Drivers.editing_workload ~replicas ~rounds ~window ()))
   in
   let oks = [ counter; cart; edit ] in
-  print_newline ();
+  if not json then print_newline ();
   if List.for_all Fun.id oks then begin
-    print_endline "all object workloads passed the ordering oracle";
+    if not json then
+      print_endline "all object workloads passed the ordering oracle";
     0
   end
   else begin
-    print_endline "object ordering violations found";
+    if not json then print_endline "object ordering violations found";
     1
   end
 
@@ -337,9 +352,17 @@ let spec_args =
   in
   Arg.(value & opt_all string [] & info [ "spec" ] ~docv:"SPEC" ~doc)
 
-let main seed sigma replicas ops window spacing verbose self objects specs =
+let json_flag =
+  let doc =
+    "Emit diagnostics as JSON lines (one object per violation); \
+     suppresses the human-readable report."
+  in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let main seed sigma replicas ops window spacing verbose json self objects specs
+    =
   if self then self_test ~seed ~sigma ~replicas ~ops ~window ~spacing ()
-  else if objects then run_objects ~seed ~replicas ~verbose ()
+  else if objects then run_objects ~seed ~replicas ~verbose ~json ()
   else
     let chosen =
       if specs = [] then Ok (all_specs ops)
@@ -357,7 +380,8 @@ let main seed sigma replicas ops window spacing verbose self objects specs =
       prerr_endline ("causalb-check: " ^ msg);
       2
     | Ok specs ->
-      run_audits ~seed ~sigma ~replicas ~ops ~window ~spacing ~verbose specs
+      run_audits ~seed ~sigma ~replicas ~ops ~window ~spacing ~verbose ~json
+        specs
 
 let cmd =
   let doc = "offline ordering oracle for the causalb stack compositions" in
@@ -378,6 +402,6 @@ let cmd =
   Cmd.v info
     Term.(
       const main $ seed $ sigma $ replicas $ ops $ window $ spacing $ verbose
-      $ self_test_flag $ objects_flag $ spec_args)
+      $ json_flag $ self_test_flag $ objects_flag $ spec_args)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,104 @@
+module Label = Causalb_graph.Label
+module Depgraph = Causalb_graph.Depgraph
+module Guarantee = Causalb_stackbase.Guarantee
+module Diag = Causalb_check.Diag
+
+type race = {
+  a : Workload.site;
+  b : Workload.site;
+  need : Guarantee.t;
+  top : Guarantee.t;
+  missing : Label.t list;
+}
+
+(* Reachability over the full site set is the hot query (O(sites²) pairs);
+   one ancestor set per label, computed lazily, makes each pair O(log n). *)
+let ancestor_cache graph =
+  let cache = Label.Tbl.create 64 in
+  fun l ->
+    match Label.Tbl.find_opt cache l with
+    | Some s -> s
+    | None ->
+      let s = Depgraph.ancestors graph l in
+      Label.Tbl.replace cache l s;
+      s
+
+let analyse (w : Workload.t) =
+  let ancestors = ancestor_cache w.Workload.graph in
+  let hb a b = Label.Set.mem a (ancestors b) in
+  let sync_separated a b =
+    Label.Set.exists
+      (fun s ->
+        Depgraph.mem w.Workload.graph s
+        && ((hb a s && hb s b) || (hb b s && hb s a)))
+      w.Workload.sync
+  in
+  fun (a : Workload.site) (b : Workload.site) ->
+    if not (Workload.conflicts w a b) then None
+    else if Label.origin a.Workload.label = Label.origin b.Workload.label
+    then Some Guarantee.Fifo
+    else if
+      hb a.Workload.label b.Workload.label
+      || hb b.Workload.label a.Workload.label
+      || sync_separated a.Workload.label b.Workload.label
+    then Some Guarantee.Causal
+    else Some Guarantee.Causal_total
+
+let pair_need w a b = analyse w a b
+
+let fold_pairs w f acc =
+  let sites = Array.of_list w.Workload.sites in
+  let n = Array.length sites in
+  let acc = ref acc in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      acc := f !acc sites.(i) sites.(j)
+    done
+  done;
+  !acc
+
+let check ?(top = Guarantee.Causal) w =
+  let need_of = analyse w in
+  List.rev
+    (fold_pairs w
+       (fun races a b ->
+         match need_of a b with
+         | Some need when not (Guarantee.leq need top) ->
+           {
+             a;
+             b;
+             need;
+             top;
+             missing = [ a.Workload.label; b.Workload.label ];
+           }
+           :: races
+         | _ -> races)
+       [])
+
+let required w =
+  let need_of = analyse w in
+  fold_pairs w
+    (fun demand a b ->
+      match need_of a b with
+      | Some need -> Guarantee.join demand need
+      | None -> demand)
+    Guarantee.bot
+
+let pp_site ppf (s : Workload.site) =
+  Format.fprintf ppf "%s(%s@%s)"
+    (Label.name s.Workload.label)
+    s.Workload.cls s.Workload.obj
+
+let pp_race ppf r =
+  Format.fprintf ppf
+    "%a ∥ %a: non-commuting classes, unordered in R(M) — the pair needs \
+     %a but the stack provides %a; add an Occurs_After edge or a sync \
+     point between them"
+    pp_site r.a pp_site r.b Guarantee.pp r.need Guarantee.pp r.top
+
+let race_to_string r = Format.asprintf "%a" pp_race r
+
+let to_diag r =
+  Diag.make ~check:"race:causal" ~chain:r.missing (race_to_string r)
+
+let to_diags rs = List.map to_diag rs

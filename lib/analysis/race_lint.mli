@@ -1,0 +1,68 @@
+(** Pass 2 of the static consistency verifier: the whole-workload
+    causal-race lint.
+
+    Bouajjani et al. ({e On Verifying Causal Consistency}) isolate the
+    expensive core of causal-consistency checking as the pairs of
+    non-commuting concurrent writes.  With the commutativity relation
+    {e declared} per class ({!Causalb_data.Seq_spec}) and the intended
+    [R(M)] available before execution ({!Workload}), exactly those pairs
+    are statically decidable: a {e race} is a pair of operations on the
+    same object, in non-commuting classes, that is neither ordered by
+    [R(M)] reachability nor separated by a synchronization point — and
+    whose arbitration the stack's top-of-stack guarantee does not fix
+    either.  Every race means two members may apply genuinely
+    conflicting operations in different orders: the dynamic oracle could
+    only flag the divergence after spending the simulation budget; this
+    lint rejects the configuration up front.
+
+    What covers a conflicting pair, from cheapest to strongest:
+    {ul
+    {- {b R(M) reachability} (or a sync point between the two) — needs a
+       pipeline that enforces the explicit relation: [Causal];}
+    {- {b same origin} — per-sender FIFO already serializes the pair
+       identically everywhere: [Fifo] suffices;}
+    {- {b nothing} — only a deterministic total order arbitrates the
+       pair: [Causal_total].}}
+
+    {!required} folds those needs into the workload's {e demand}: the
+    minimal top-of-stack guarantee under which it is race-free. *)
+
+module Label := Causalb_graph.Label
+module Guarantee := Causalb_stackbase.Guarantee
+
+type race = {
+  a : Workload.site;
+  b : Workload.site;          (** the offending non-commuting pair *)
+  need : Guarantee.t;         (** minimal guarantee covering the pair *)
+  top : Guarantee.t;          (** what the stack was assumed to provide *)
+  missing : Label.t list;
+      (** the missing edge: [[a; b]] — ordering either way (an
+          [Occurs_After] predicate or an interposed sync point) resolves
+          the race *)
+}
+
+val check : ?top:Guarantee.t -> Workload.t -> race list
+(** All races of the workload over a pipeline providing [top] (default
+    [Causal], the §6.1 protocol's setting), in submission order of the
+    first site.  Empty means: every non-commuting pair is ordered by
+    [R(M)], separated by a sync point, pinned by per-sender FIFO, or
+    arbitrated by a total order. *)
+
+val required : Workload.t -> Guarantee.t
+(** The workload's demand: the minimal [top] for which {!check} returns
+    no race.  [Unordered] when every pair commutes. *)
+
+val pair_need : Workload.t -> Workload.site -> Workload.site -> Guarantee.t option
+(** The guarantee a single pair needs — [None] when the sites do not
+    conflict, otherwise [Fifo] (same origin), [Causal] (ordered by
+    reachability or sync separation), or [Causal_total] (concurrent,
+    cross-origin). *)
+
+val pp_race : Format.formatter -> race -> unit
+
+val race_to_string : race -> string
+
+val to_diag : race -> Causalb_check.Diag.t
+(** Check name ["race:causal"]; the chain carries the offending pair. *)
+
+val to_diags : race list -> Causalb_check.Diag.t list

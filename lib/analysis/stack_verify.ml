@@ -1,0 +1,87 @@
+module Guarantee = Causalb_stackbase.Guarantee
+module Stack = Causalb_stack.Stack
+module Diag = Causalb_check.Diag
+
+type layer = {
+  name : string;
+  requires : Guarantee.t;
+  provides : Guarantee.t;
+}
+
+type issue =
+  | Weak_layer of {
+      layer : string;
+      requires : Guarantee.t;
+      available : Guarantee.t;
+    }
+  | Claim_unmet of { claim : Guarantee.t; top : Guarantee.t }
+
+type report = {
+  layers : layer list;
+  top : Guarantee.t;
+  issues : issue list;
+}
+
+let layers_of ~ordering ~total ~fifo =
+  List.map
+    (fun (name, requires, provides) -> { name; requires; provides })
+    (Stack.layer_guarantees ~ordering ~total ~fifo)
+
+let verify ?claim layers =
+  let issues = ref [] in
+  let add i = issues := i :: !issues in
+  (* Continue past a weak layer with its [provides] joined in anyway, so
+     one report names every ill-fitting layer rather than the first. *)
+  let top =
+    List.fold_left
+      (fun available l ->
+        if not (Guarantee.leq l.requires available) then
+          add
+            (Weak_layer
+               { layer = l.name; requires = l.requires; available });
+        Guarantee.join available l.provides)
+      Guarantee.bot layers
+  in
+  (match claim with
+  | Some claim when not (Guarantee.leq claim top) ->
+    add (Claim_unmet { claim; top })
+  | _ -> ());
+  { layers; top; issues = List.rev !issues }
+
+let verify_stack ?claim ~ordering ~total ~fifo () =
+  verify ?claim (layers_of ~ordering ~total ~fifo)
+
+let ok r = r.issues = []
+
+let issue_name = function
+  | Weak_layer _ -> "verify:weak-layer"
+  | Claim_unmet _ -> "verify:claim-unmet"
+
+let pp_issue ppf = function
+  | Weak_layer { layer; requires; available } ->
+    Format.fprintf ppf
+      "layer %s requires %a below it, but the composition underneath \
+       provides only %a"
+      layer Guarantee.pp requires Guarantee.pp available
+  | Claim_unmet { claim; top } ->
+    Format.fprintf ppf
+      "configuration claims %a consistency, but the stack tops out at %a"
+      Guarantee.pp claim Guarantee.pp top
+
+let issue_to_string i = Format.asprintf "%a" pp_issue i
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun l ->
+      Format.fprintf ppf "%-16s requires %-9s provides %a@," l.name
+        (Guarantee.to_string l.requires)
+        Guarantee.pp l.provides)
+    r.layers;
+  Format.fprintf ppf "top-of-stack guarantee: %a" Guarantee.pp r.top;
+  List.iter (fun i -> Format.fprintf ppf "@,ISSUE: %a" pp_issue i) r.issues;
+  Format.fprintf ppf "@]"
+
+let to_diag i = Diag.make ~check:(issue_name i) (issue_to_string i)
+
+let to_diags r = List.map to_diag r.issues

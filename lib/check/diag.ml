@@ -36,3 +36,30 @@ let pp_list ppf ds =
   Format.fprintf ppf "@]"
 
 let to_string d = Format.asprintf "%a" pp d
+
+let to_json d =
+  let module J = Causalb_util.Json in
+  let record (r : Trace.record) =
+    J.Obj
+      [
+        ("time", J.Num r.Trace.time);
+        ("node", J.Num (float_of_int r.Trace.node));
+        ("kind", J.Str (Trace.kind_to_string r.Trace.kind));
+        ("tag", J.Str r.Trace.tag);
+        ("info", J.Str r.Trace.info);
+      ]
+  in
+  J.Obj
+    [
+      ("check", J.Str d.check);
+      ( "node",
+        match d.node with
+        | None -> J.Null
+        | Some n -> J.Num (float_of_int n) );
+      ("summary", J.Str d.summary);
+      ("records", J.List (List.map record d.records));
+      ( "chain",
+        J.List (List.map (fun l -> J.Str (Label.to_string l)) d.chain) );
+    ]
+
+let to_json_line d = Causalb_util.Json.to_string (to_json d)

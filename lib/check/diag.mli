@@ -29,3 +29,11 @@ val pp : Format.formatter -> t -> unit
 val pp_list : Format.formatter -> t list -> unit
 
 val to_string : t -> string
+
+val to_json : t -> Causalb_util.Json.t
+(** The diagnostic as a JSON object: [check], [node] (null when global),
+    [summary], [records] (time/node/kind/tag/info each), [chain] (label
+    strings).  Stable field set — the [--json] output of the CLIs. *)
+
+val to_json_line : t -> string
+(** {!to_json} rendered compactly on one line (JSON-lines framing). *)

@@ -12,6 +12,7 @@ type issue =
       implied_by : Label.t;
     }
   | Unsatisfiable of { label : Label.t; missing : Label.t list }
+  | Duplicate_label of { label : Label.t; first : int; second : int }
 
 let issue_name = function
   | Dangling _ -> "lint:dangling"
@@ -19,6 +20,7 @@ let issue_name = function
   | Redundant_edge _ -> "lint:redundant-edge"
   | Dead_alternative _ -> "lint:dead-alternative"
   | Unsatisfiable _ -> "lint:unsatisfiable"
+  | Duplicate_label _ -> "lint:duplicate-label"
 
 let pp_issue ppf = function
   | Dangling { label; missing } ->
@@ -41,6 +43,11 @@ let pp_issue ppf = function
        deadlocks with it"
       Label.pp label
       (String.concat ", " (List.map Label.to_string missing))
+  | Duplicate_label { label; first; second } ->
+    Format.fprintf ppf
+      "sends #%d and #%d both define %a — the second wait can never be \
+       told apart from the first, and its dependents may fire early"
+      first second Label.pp label
 
 let issue_to_string i = Format.asprintf "%a" pp_issue i
 
@@ -53,7 +60,8 @@ let to_diag i =
       | Redundant_edge { label; ancestor; via } -> [ ancestor; via; label ]
       | Dead_alternative { label; alt; implied_by } ->
         [ implied_by; alt; label ]
-      | Unsatisfiable { label; missing } -> missing @ [ label ])
+      | Unsatisfiable { label; missing } -> missing @ [ label ]
+      | Duplicate_label { label; _ } -> [ label ])
     (issue_to_string i)
 
 (* A send is unsatisfiable when its wait can never complete no matter
@@ -123,5 +131,24 @@ let lint g =
           present)
     (Depgraph.labels g);
   List.rev !issues
+
+(* [Depgraph.add] rejects a second definition of a label outright, so the
+   duplicate check has to act on the send list — before a graph can even
+   be built from it.  Duplicates are reported (first and second position)
+   and dropped; the surviving sends are then linted as a graph. *)
+let lint_sends sends =
+  let g = Depgraph.create () in
+  let seen = Label.Tbl.create 16 in
+  let dups = ref [] in
+  List.iteri
+    (fun i (label, dep) ->
+      match Label.Tbl.find_opt seen label with
+      | Some first ->
+        dups := Duplicate_label { label; first; second = i } :: !dups
+      | None ->
+        Label.Tbl.replace seen label i;
+        Depgraph.add g label ~dep)
+    sends;
+  List.rev !dups @ lint g
 
 let to_diags issues = List.map to_diag issues

@@ -31,10 +31,21 @@ type issue =
       implied_by : Label.t;
     }
   | Unsatisfiable of { label : Label.t; missing : Label.t list }
+  | Duplicate_label of { label : Label.t; first : int; second : int }
+      (** sends [first] and [second] (positions in the send list) both
+          define the same label — waits on it are ambiguous *)
 
 val lint : Causalb_graph.Depgraph.t -> issue list
 (** All issues, in graph insertion order (cycle first when present).
-    An empty list means the specification is clean. *)
+    An empty list means the specification is clean.  [Duplicate_label]
+    never appears here: a {!Causalb_graph.Depgraph.t} cannot hold two
+    definitions of one label — use {!lint_sends} on the raw send list. *)
+
+val lint_sends : (Label.t * Causalb_graph.Dep.t) list -> issue list
+(** Lint a specification still in send-list form, {e before} graph
+    construction: reports a [Duplicate_label] for every send re-defining
+    an earlier label (duplicates are dropped), then all {!lint} issues of
+    the graph built from the surviving sends. *)
 
 val issue_name : issue -> string
 (** Stable machine-readable name, e.g. ["lint:cycle"]. *)

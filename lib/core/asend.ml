@@ -71,6 +71,11 @@ module Merge = struct
   let batches t = t.batches
 
   let metrics t = t.metrics
+
+  (* Lattice declaration for the static stack verifier. *)
+  let provides = Causalb_stackbase.Guarantee.Causal_total
+
+  let requires = Causalb_stackbase.Guarantee.Causal
 end
 
 module Counted = struct
@@ -132,6 +137,11 @@ module Counted = struct
   let batches t = t.batches
 
   let metrics t = t.metrics
+
+  (* Lattice declaration for the static stack verifier. *)
+  let provides = Causalb_stackbase.Guarantee.Causal_total
+
+  let requires = Causalb_stackbase.Guarantee.Causal
 end
 
 module Timestamp = struct
@@ -235,6 +245,11 @@ module Timestamp = struct
   let pending t node = Heap.length t.stations.(node).buffer
 
   let acks_sent t = t.acks
+
+  (* Lattice declaration for the static stack verifier. *)
+  let provides = Causalb_stackbase.Guarantee.Causal_total
+
+  let requires = Causalb_stackbase.Guarantee.Fifo
 end
 
 module Sequencer = struct
@@ -290,4 +305,9 @@ module Sequencer = struct
     t.metrics.Metrics.buffered <-
       t.metrics.Metrics.received - t.sequenced;
     t.metrics
+
+  (* Lattice declaration for the static stack verifier. *)
+  let provides = Causalb_stackbase.Guarantee.Causal_total
+
+  let requires = Causalb_stackbase.Guarantee.Causal
 end

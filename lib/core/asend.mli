@@ -52,6 +52,13 @@ module Merge : sig
 
   val metrics : 'a t -> Causalb_stackbase.Metrics.t
   (** Uniform layer metrics (see {!Causalb_stack.Layer}). *)
+
+  val provides : Causalb_stackbase.Guarantee.t
+  (** [Causal_total] — identical release sequence at every member. *)
+
+  val requires : Causalb_stackbase.Guarantee.t
+  (** [Causal] — the bracketed set is stable information only under
+      causal delivery; over a weaker feed members disagree on batches. *)
 end
 
 (** Count-closed deterministic merge: a batch is released once
@@ -77,6 +84,13 @@ module Counted : sig
 
   val metrics : 'a t -> Causalb_stackbase.Metrics.t
   (** Uniform layer metrics (see {!Causalb_stack.Layer}). *)
+
+  val provides : Causalb_stackbase.Guarantee.t
+  (** [Causal_total] — identical release sequence at every member. *)
+
+  val requires : Causalb_stackbase.Guarantee.t
+  (** [Causal] — count-closure picks the same batch everywhere only when
+      every member sees the same causally ordered prefix. *)
 end
 
 (** Decentralised timestamp total order (Lamport 1978, the paper's
@@ -108,6 +122,13 @@ module Timestamp : sig
   (** Messages buffered at a node awaiting clock cover. *)
 
   val acks_sent : 'a t -> int
+
+  val provides : Causalb_stackbase.Guarantee.t
+  (** [Causal_total] — [(timestamp, sender)] order at every member. *)
+
+  val requires : Causalb_stackbase.Guarantee.t
+  (** [Fifo] — each sender's timestamps must arrive non-decreasing, so
+      the transport below must be per-link FIFO. *)
 end
 
 (** Fixed-sequencer total order: members submit to a distinguished node
@@ -137,4 +158,11 @@ module Sequencer : sig
   val metrics : 'a t -> Causalb_stackbase.Metrics.t
   (** Uniform layer metrics: [received] counts submissions, [delivered]
       counts sequenced broadcasts, [buffered] is the in-flight gap. *)
+
+  val provides : Causalb_stackbase.Guarantee.t
+  (** [Causal_total] — the sequencer's causal chain is one sequence. *)
+
+  val requires : Causalb_stackbase.Guarantee.t
+  (** [Causal] — the chain rides [Occurs_After] predicates, so the layer
+      below must deliver them causally (OSend). *)
 end

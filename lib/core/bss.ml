@@ -183,3 +183,8 @@ module Group = struct
 
   let delivered_tags t i = delivered_tags (Sgroup.member t i)
 end
+
+(* Lattice declaration for the static stack verifier. *)
+let provides = Causalb_stackbase.Guarantee.Causal
+
+let requires = Causalb_stackbase.Guarantee.Unordered

@@ -42,6 +42,12 @@ val buffered_ever : 'a member -> int
 val metrics : 'a member -> Causalb_stackbase.Metrics.t
 (** The member's uniform layer metrics (see {!Causalb_stack.Layer}). *)
 
+val provides : Causalb_stackbase.Guarantee.t
+(** [Causal] — vector-clock potential causality. *)
+
+val requires : Causalb_stackbase.Guarantee.t
+(** [Unordered] — stamps carry all the ordering the layer needs. *)
+
 val clock : 'a member -> Causalb_clock.Vector_clock.t
 (** The member's current vector clock (delivered counts + own sends). *)
 

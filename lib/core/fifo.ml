@@ -139,3 +139,8 @@ module Group = struct
 
   let delivered_tags t i = delivered_tags (member t i)
 end
+
+(* Lattice declaration for the static stack verifier. *)
+let provides = Causalb_stackbase.Guarantee.Fifo
+
+let requires = Causalb_stackbase.Guarantee.Unordered

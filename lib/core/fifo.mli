@@ -28,6 +28,12 @@ val buffered_ever : 'a member -> int
 val metrics : 'a member -> Causalb_stackbase.Metrics.t
 (** The member's uniform layer metrics (see {!Causalb_stack.Layer}). *)
 
+val provides : Causalb_stackbase.Guarantee.t
+(** [Fifo] — per-sender order, nothing across senders. *)
+
+val requires : Causalb_stackbase.Guarantee.t
+(** [Unordered] — the layer reorders raw transport arrivals itself. *)
+
 module Group : sig
   type 'a t
 

@@ -183,3 +183,8 @@ let blocked_on t =
         (Dep.ancestors (Message.dep w.wmsg)))
     t.parked;
   Label.Set.elements !missing
+
+(* Lattice declaration for the static stack verifier. *)
+let provides = Causalb_stackbase.Guarantee.Causal
+
+let requires = Causalb_stackbase.Guarantee.Unordered

@@ -55,6 +55,12 @@ val buffered_ever : 'a t -> int
 val metrics : 'a t -> Causalb_stackbase.Metrics.t
 (** The member's uniform layer metrics (see {!Causalb_stack.Layer}). *)
 
+val provides : Causalb_stackbase.Guarantee.t
+(** [Causal] — explicit [Occurs_After] predicates, exactly [R(M)]. *)
+
+val requires : Causalb_stackbase.Guarantee.t
+(** [Unordered] — predicates carry all the ordering the layer needs. *)
+
 val graph : 'a t -> Causalb_graph.Depgraph.t
 (** The extracted dependency graph over every message seen (delivered or
     pending).  Do not mutate. *)

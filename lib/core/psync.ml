@@ -78,3 +78,8 @@ let buffered_ever t =
 let metrics t i = Osend.metrics (member t i)
 
 let context_size_total t = t.context_total
+
+(* Lattice declaration for the static stack verifier. *)
+let provides = Causalb_stackbase.Guarantee.Causal
+
+let requires = Causalb_stackbase.Guarantee.Unordered

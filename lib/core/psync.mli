@@ -51,5 +51,11 @@ val buffered_ever : 'a t -> int
 val metrics : 'a t -> int -> Causalb_stackbase.Metrics.t
 (** Uniform layer metrics of one member's delivery engine. *)
 
+val provides : Causalb_stackbase.Guarantee.t
+(** [Causal] — conversation contexts reconstruct the causal relation. *)
+
+val requires : Causalb_stackbase.Guarantee.t
+(** [Unordered] — contexts carry all the ordering the layer needs. *)
+
 val context_size_total : 'a t -> int
 (** Total leaves named across all sends (wire cost of the context). *)

@@ -272,6 +272,8 @@ type stack_audit = {
   sync : Label.Set.t;
   diagnostics : Causalb_check.Diag.t list;
   lint : Causalb_check.Spec_lint.issue list;
+  static : Causalb_check.Diag.t list;
+      (* static-verifier issues (guarantee lattice + race lint) *)
 }
 
 type stack_result = {
@@ -281,6 +283,7 @@ type stack_result = {
   layers : Metrics.t list;
   checks_ok : bool;
   sim_time : float;
+  refused : bool;       (* static verifier rejected before execution *)
   audit : stack_audit option;  (* present under [~check:true] *)
 }
 
@@ -289,20 +292,98 @@ let op_is_sync op =
   | Dt.Int_register.Read | Dt.Int_register.Set _ -> true
   | Dt.Int_register.Inc _ | Dt.Int_register.Dec _ -> false
 
-let run_stack ?(seed = 42) ?(latency = default_latency) ?(check = false)
-    ~replicas spec w : stack_result =
-  let engine = Engine.create ~seed () in
-  let ordering, total =
-    match spec with
-    | Fifo_only -> (Stack.Fifo, Stack.Pass)
-    | Bss_stack -> (Stack.Bss, Stack.Pass)
-    | Psync_stack -> (Stack.Psync, Stack.Pass)
-    | Osend_stack -> (Stack.Osend, Stack.Pass)
-    | Osend_merge ->
-      (Stack.Osend, Stack.Merge (fun m -> op_is_sync (Message.payload m)))
-    | Osend_counted n -> (Stack.Osend, Stack.Counted n)
-    | Osend_sequencer -> (Stack.Osend, Stack.Sequencer { node = 0 })
+let stack_params spec =
+  match spec with
+  | Fifo_only -> (Stack.Fifo, Stack.Pass)
+  | Bss_stack -> (Stack.Bss, Stack.Pass)
+  | Psync_stack -> (Stack.Psync, Stack.Pass)
+  | Osend_stack -> (Stack.Osend, Stack.Pass)
+  | Osend_merge ->
+    (Stack.Osend, Stack.Merge (fun m -> op_is_sync (Message.payload m)))
+  | Osend_counted n -> (Stack.Osend, Stack.Counted n)
+  | Osend_sequencer -> (Stack.Osend, Stack.Sequencer { node = 0 })
+
+(* --- the static consistency verifier over the stack driver --- *)
+
+module Guarantee = Causalb_stackbase.Guarantee
+module Stack_verify = Causalb_analysis.Stack_verify
+module Race_lint = Causalb_analysis.Race_lint
+module Analysis_workload = Causalb_analysis.Workload
+
+(* What each composition promises the application.  FIFO-only and BSS are
+   deliberate under-ordered baselines: the dynamic oracle holds them to
+   per-sender order and same-set delivery only, so they claim [Fifo] (BSS
+   does enforce *potential* causality, but the harness front-end submits
+   on schedule without waiting for delivery, so explicit R(M) edges
+   between different senders are not potential causality — see
+   [Stack_verify]).  The explicit-graph engines claim [Causal]; the
+   total-order tails claim [Causal_total]. *)
+let claim_of = function
+  | Fifo_only | Bss_stack -> Guarantee.Fifo
+  | Psync_stack | Osend_stack -> Guarantee.Causal
+  | Osend_merge | Osend_counted _ | Osend_sequencer -> Guarantee.Causal_total
+
+(* The workload intent the race lint analyses: the same §6.1 Window
+   bookkeeping [submit_op] performs below, replayed purely over the op
+   list, with the same per-origin label numbering. *)
+let intent_of_ops ~replicas ops =
+  Analysis_workload.of_ops ~spec:Dt.Int_register.spec
+    ~src:(fun i -> i mod replicas)
+    ops
+
+type static_report = {
+  static_spec : stack_spec;
+  claim : Guarantee.t;
+  verify : Stack_verify.report;
+  races : Race_lint.race list;
+  demand : Guarantee.t;
+  static_diags : Causalb_check.Diag.t list;
+}
+
+let static_ok r = r.static_diags = []
+
+let static_passes ~replicas spec ops =
+  let ordering, total = stack_params spec in
+  let claim = claim_of spec in
+  let verify =
+    Stack_verify.verify ~claim
+      (Stack_verify.layers_of ~ordering ~total ~fifo:false)
   in
+  let intent = intent_of_ops ~replicas ops in
+  (* The race lint holds a composition to what it claims: under-ordered
+     baselines (claim < Causal) are exempt — their pairs are audited
+     dynamically against the weaker fifo/same-set oracle instead. *)
+  let races =
+    if Guarantee.leq Guarantee.Causal claim then
+      Race_lint.check ~top:verify.Stack_verify.top intent
+    else []
+  in
+  {
+    static_spec = spec;
+    claim;
+    verify;
+    races;
+    demand = Race_lint.required intent;
+    static_diags = Stack_verify.to_diags verify @ Race_lint.to_diags races;
+  }
+
+let static_audit ?(seed = 42) ?(latency = default_latency) ~replicas spec w =
+  (* Build (but do not run) the exact engine + stack [run_stack] would:
+     composition forks the engine RNG, so only an identical prelude makes
+     the op-sequence fork draw the same stream under [Random p]. *)
+  let engine = Engine.create ~seed () in
+  let ordering, total = stack_params spec in
+  let (_ : Dt.Int_register.op Stack.t) =
+    Stack.compose ~ordering ~total ~latency ~fifo:false engine
+      ~nodes:replicas ()
+  in
+  let rng = Engine.fork_rng engine in
+  static_passes ~replicas spec (op_sequence rng w)
+
+let run_stack ?(seed = 42) ?(latency = default_latency) ?(check = false)
+    ?(on_static = `Warn) ~replicas spec w : stack_result =
+  let engine = Engine.create ~seed () in
+  let ordering, total = stack_params spec in
   (* Submit-to-release latency keyed by op name: names survive even when
      the label is allocated later (sequencer). *)
   let issue = Hashtbl.create 256 in
@@ -385,12 +466,33 @@ let run_stack ?(seed = 42) ?(latency = default_latency) ?(check = false)
       Window.note win ~kind label
   in
   let rng = Engine.fork_rng engine in
-  List.iteri
-    (fun i op ->
-      Engine.schedule_at engine ~time:(float_of_int i *. w.spacing) (fun () ->
-          submit_op i op))
-    (op_sequence rng w);
-  Stack.run stack;
+  let ops = op_sequence rng w in
+  (* Static passes BEFORE execution.  The guarantee-lattice verifier is
+     O(layers) and always runs; the causal-race lint replays the intended
+     workload (O(ops²) pairs) and is only computed when the oracle is on.
+     [`Refuse] rejects an ill-formed configuration without spending the
+     simulation budget; [`Warn] (default) runs it anyway and lets
+     [checks_ok] report the issues. *)
+  let static_diags =
+    if check then (static_passes ~replicas spec ops).static_diags
+    else
+      Stack_verify.to_diags
+        (Stack_verify.verify ~claim:(claim_of spec)
+           (Stack_verify.layers_of ~ordering ~total ~fifo:false))
+  in
+  let refused = on_static = `Refuse && static_diags <> [] in
+  if static_diags <> [] && not refused then
+    Format.eprintf "@[<v>causalb: static verifier: %d issue(s) in %s:@,%a@]@."
+      (List.length static_diags) (stack_spec_name spec)
+      Causalb_check.Diag.pp_list static_diags;
+  if not refused then begin
+    List.iteri
+      (fun i op ->
+        Engine.schedule_at engine ~time:(float_of_int i *. w.spacing)
+          (fun () -> submit_op i op))
+      ops;
+    Stack.run stack
+  end;
   let orders = Stack.all_delivered_orders stack in
   let checks_ok =
     match spec with
@@ -442,10 +544,10 @@ let run_stack ?(seed = 42) ?(latency = default_latency) ?(check = false)
           @ C.stable_points tr
       in
       let lint = Causalb_check.Spec_lint.lint intended in
-      Some { trace = tr; graph; sync; diagnostics; lint }
+      Some { trace = tr; graph; sync; diagnostics; lint; static = static_diags }
   in
   let checks_ok =
-    checks_ok
+    checks_ok && static_diags = []
     &&
     match audit with
     | None -> true
@@ -458,6 +560,7 @@ let run_stack ?(seed = 42) ?(latency = default_latency) ?(check = false)
     layers;
     checks_ok;
     sim_time = Engine.now engine;
+    refused;
     audit;
   }
 

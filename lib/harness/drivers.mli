@@ -85,6 +85,9 @@ type stack_audit = {
       (** trace-checker violations; empty = every applicable property held *)
   lint : Causalb_check.Spec_lint.issue list;
       (** static issues in the intended dependency specification *)
+  static : Causalb_check.Diag.t list;
+      (** static-verifier issues found {e before} execution: guarantee
+          lattice ([verify:*]) and causal-race lint ([race:causal]) *)
 }
 
 type stack_result = {
@@ -96,15 +99,62 @@ type stack_result = {
   checks_ok : bool;
       (** same-set (causal) / identical-order (total); under [~check:true]
           also requires an empty {!stack_audit.diagnostics} and
-          {!stack_audit.lint} *)
+          {!stack_audit.lint}; always requires clean static passes *)
   sim_time : float;
+  refused : bool;
+      (** the static verifier rejected the configuration before execution
+          (only under [~on_static:`Refuse]); no operation was submitted *)
   audit : stack_audit option;  (** present iff run with [~check:true] *)
 }
+
+val claim_of : stack_spec -> Causalb_stackbase.Guarantee.t
+(** The consistency level each shipped composition {e claims}: [Fifo] for
+    the deliberate under-ordered baselines (FIFO-only, BSS — the dynamic
+    oracle holds them to per-sender order and same-set delivery only),
+    [Causal] for the explicit-graph engines (Psync, OSend), and
+    [Causal_total] for the total-order tails.  The static verifier checks
+    the claim against the composed top-of-stack guarantee, and the race
+    lint applies to compositions claiming at least [Causal]. *)
+
+(** One configuration's static verdict, computed without executing it:
+    both passes of the static consistency verifier
+    ({!Causalb_analysis.Stack_verify} over the declared layer lattice,
+    {!Causalb_analysis.Race_lint} over the §6.1 workload intent). *)
+type static_report = {
+  static_spec : stack_spec;
+  claim : Causalb_stackbase.Guarantee.t;
+  verify : Causalb_analysis.Stack_verify.report;
+      (** pass 1: bottom-up guarantee composition + claim check *)
+  races : Causalb_analysis.Race_lint.race list;
+      (** pass 2: non-commuting pairs not covered by [R(M)], a sync
+          point, or the top-of-stack guarantee (empty for claims below
+          [Causal] — those are audited dynamically instead) *)
+  demand : Causalb_stackbase.Guarantee.t;
+      (** minimal top-of-stack guarantee making the workload race-free *)
+  static_diags : Causalb_check.Diag.t list;
+      (** both passes' issues as structured diagnostics *)
+}
+
+val static_ok : static_report -> bool
+
+val static_audit :
+  ?seed:int ->
+  ?latency:Causalb_sim.Latency.t ->
+  replicas:int ->
+  stack_spec ->
+  workload ->
+  static_report
+(** The static verdict {!run_stack} would compute for the same arguments,
+    without running the simulation.  Builds (but does not run) the same
+    engine and stack so the op-sequence RNG fork draws the identical
+    stream — the audited intent is exactly the workload a real run
+    submits. *)
 
 val run_stack :
   ?seed:int ->
   ?latency:Causalb_sim.Latency.t ->
   ?check:bool ->
+  ?on_static:[ `Warn | `Refuse ] ->
   replicas:int ->
   stack_spec ->
   workload ->
@@ -119,7 +169,14 @@ val run_stack :
     over the trace (causal safety for the explicit-graph engines, FIFO
     per sender for FIFO/BSS, window or strict agreement per total layer,
     stable-point digests for OSend compositions), the intended dependency
-    spec is linted, and the evidence is returned in [audit]. *)
+    spec is linted, and the evidence is returned in [audit].
+
+    The static verifier runs {e before} execution in every mode: the
+    guarantee-lattice pass always, the causal-race lint when [~check] is
+    on (it replays the full workload intent).  Under [~on_static:`Warn]
+    (default) static issues are printed to stderr and fail [checks_ok];
+    under [`Refuse] an ill-formed configuration is rejected up front —
+    nothing is submitted, [refused] is set, and [checks_ok] is false. *)
 
 (** {1 Spec-derived objects over the stable-point service}
 

@@ -57,6 +57,30 @@ let deal_card t =
   let rank = 2 + Rng.int t.card_rng 13 in
   Printf.sprintf "%s%d" (Rng.pick t.card_rng suits) rank
 
+let static_schedule ~players ~rounds =
+  if players <= 0 then invalid_arg "Card_game.static_schedule: players <= 0";
+  (* Group.osend assigns per-origin sequence numbers; player [p] sends
+     exactly one card per round, so the runtime label of card (r,p) is
+     (origin=p, seq=r) — the schedule reproduces it exactly, display name
+     included.  The card itself is drawn at play time and irrelevant to
+     the class structure, so a placeholder stands in. *)
+  let label ~round ~player =
+    Label.make
+      ~name:(Printf.sprintf "card.%d.%d" round player)
+      ~origin:player ~seq:round ()
+  in
+  List.concat
+    (List.init rounds (fun r ->
+         List.init players (fun p ->
+             let dep =
+               if p > 0 then Dep.after (label ~round:r ~player:(p - 1))
+               else if r = 0 then Dep.null
+               else
+                 Dep.after_all
+                   (List.init players (fun q -> label ~round:(r - 1) ~player:q))
+             in
+             (label ~round:r ~player:p, dep, p, Card_table.Play (p, "S2")))))
+
 let play_card t ~player ~round ~dep =
   if not (Hashtbl.mem t.round_start round) then
     Hashtbl.replace t.round_start round (Engine.now t.engine);

@@ -44,6 +44,27 @@ val create :
 val start : t -> rounds:int -> unit
 (** Opens round 0; later rounds self-trigger.  Run the engine after. *)
 
+val static_schedule :
+  players:int ->
+  rounds:int ->
+  (Causalb_graph.Label.t
+  * Causalb_graph.Dep.t
+  * int
+  * Causalb_data.Datatypes.Card_table.op)
+  list
+(** The {!Strict_turns} submission intent as [(label, dep, player, op)]
+    rows in play order: player [p]'s card occurs after player [p-1]'s in
+    the same round, and a new round's opener occurs after {e every} card
+    of the finished round.  Labels match the runtime ones exactly
+    ([Group.osend] gives player [p]'s round-[r] card identity
+    [(origin=p, seq=r)]); the card value is a placeholder — only the
+    class structure matters to the lint.  [causalb-lint] replays this
+    schedule purely: plays commute structurally (the table is kept
+    sorted), so the chain serves turn-taking, not consistency, and the
+    static demand is [unordered].
+
+    @raise Invalid_argument if [players <= 0]. *)
+
 val rounds_completed : t -> int
 (** Rounds whose full card set reached every member. *)
 

@@ -54,26 +54,55 @@ let request_view t ~participant k =
   check_participant t "request_view" participant;
   Replica.read_deferred (Service.replica t.service participant) k
 
-let run_session t ~annotations ~commit_every ?(spacing = 1.0) () =
+let session_schedule ~participants ~sections ~annotations ~commit_every
+    ?(spacing = 1.0) rng =
   if commit_every <= 0 then
-    invalid_arg "Conference.run_session: commit_every <= 0";
-  let busiest = Array.make t.sections 0 in
+    invalid_arg "Conference.session_schedule: commit_every <= 0";
+  let busiest = Array.make sections 0 in
+  let rows = ref [] in
   for i = 0 to annotations - 1 do
-    let participant = i mod t.participants in
-    let section = Rng.int t.rng t.sections in
+    let participant = i mod participants in
+    let section = Rng.int rng sections in
     let when_ = float_of_int i *. spacing in
-    Engine.schedule_at t.engine ~time:when_ (fun () ->
-        busiest.(section) <- busiest.(section) + 1;
-        annotate t ~participant ~section
-          (Printf.sprintf "note-%d by p%d" i participant);
-        if (i + 1) mod commit_every = 0 then begin
-          let sec = ref 0 in
-          Array.iteri (fun j c -> if c > busiest.(!sec) then sec := j) busiest;
-          commit t ~moderator:0 ~section:!sec
-            ~body:
-              (Printf.sprintf "body v%d of s%d" ((i + 1) / commit_every) !sec)
-        end)
+    busiest.(section) <- busiest.(section) + 1;
+    rows :=
+      ( when_,
+        participant,
+        Document.Annotate (section, Printf.sprintf "note-%d by p%d" i participant)
+      )
+      :: !rows;
+    if (i + 1) mod commit_every = 0 then begin
+      let sec = ref 0 in
+      Array.iteri (fun j c -> if c > busiest.(!sec) then sec := j) busiest;
+      rows :=
+        ( when_,
+          0,
+          Document.Commit
+            (!sec, Printf.sprintf "body v%d of s%d" ((i + 1) / commit_every) !sec)
+        )
+        :: !rows
+    end
   done;
+  List.rev !rows
+
+let run_session t ~annotations ~commit_every ?(spacing = 1.0) () =
+  let rows =
+    session_schedule ~participants:t.participants ~sections:t.sections
+      ~annotations ~commit_every ~spacing t.rng
+  in
+  (* One event per row; the engine breaks time ties by insertion order, so
+     a commit lands right after the annotation that triggered it, exactly
+     as when both were submitted from a single callback. *)
+  List.iter
+    (fun (when_, src, op) ->
+      Engine.schedule_at t.engine ~time:when_ (fun () ->
+          match (op : Document.op) with
+          | Document.Annotate (section, text) ->
+            annotate t ~participant:src ~section text
+          | Document.Commit (section, body) ->
+            commit t ~moderator:src ~section ~body
+          | Document.Review -> ignore (Service.submit t.service ~src op)))
+    rows;
   Service.run t.service
 
 let annotations_sent t = t.annotations

@@ -39,6 +39,24 @@ val request_view :
 (** Deferred read at the participant's replica: the continuation fires at
     the next stable point with the agreed document. *)
 
+val session_schedule :
+  participants:int ->
+  sections:int ->
+  annotations:int ->
+  commit_every:int ->
+  ?spacing:float ->
+  Causalb_util.Rng.t ->
+  (float * int * Causalb_data.Datatypes.Document.op) list
+(** The scripted session as a pure submission schedule [(time,
+    participant, op)], in submission order: [annotations] annotations
+    spread [spacing] ms apart (default 1.0) from round-robin participants
+    on [rng]-chosen sections; after every [commit_every] annotations the
+    moderator (participant 0) commits the busiest section so far.
+    {!run_session} dispatches exactly this schedule; [causalb-lint]
+    replays it purely to verify the shipped workload statically.
+
+    @raise Invalid_argument if [commit_every <= 0]. *)
+
 val run_session :
   t ->
   annotations:int ->
@@ -46,11 +64,8 @@ val run_session :
   ?spacing:float ->
   unit ->
   unit
-(** Scripted session: [annotations] annotation submissions spread
-    [spacing] ms apart (default 1.0) from round-robin participants on
-    random sections; after every [commit_every] annotations the moderator
-    (participant 0) commits the busiest section.  Runs the engine to
-    completion. *)
+(** Dispatch {!session_schedule} (drawing sections from the protocol's
+    own RNG) and run the engine to completion. *)
 
 val annotations_sent : t -> int
 

@@ -129,6 +129,18 @@ let dispatch t ~src op =
      [Total_order] the stack routes through its sequencer. *)
   ignore (Stack.submit t.stack ~src ~dep:Dep.null op)
 
+let static_schedule ~front_ends ~keys ~ops =
+  if front_ends <= 0 then
+    invalid_arg "Name_service.static_schedule: front_ends <= 0";
+  if keys <= 0 then invalid_arg "Name_service.static_schedule: keys <= 0";
+  List.init ops (fun i ->
+      let key = Printf.sprintf "k%d" (i mod keys) in
+      let op =
+        if i mod 3 = 0 then Kv.Upd (key, Printf.sprintf "v%d" i)
+        else Kv.Qry key
+      in
+      (i mod front_ends, op))
+
 let update t ~src ~key value =
   let uid = fresh_uid t in
   t.updates <- t.updates + 1;

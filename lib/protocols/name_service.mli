@@ -54,6 +54,23 @@ val update : t -> src:int -> key:string -> string -> unit
 
 val query : t -> src:int -> key:string -> unit
 
+val static_schedule :
+  front_ends:int ->
+  keys:int ->
+  ops:int ->
+  (int * Causalb_data.Datatypes.Kv_store.op) list
+(** The protocol's submission intent as [(front_end, op)] rows in issue
+    order: a deterministic T4-style mix (one [Upd] per two [Qry]s) on
+    [keys] keys, round-robin across [front_ends].  Every row is submitted
+    spontaneously — [Occurs_After NULL], no sync points — which is what
+    makes §5.2 the case the stable-point machinery cannot cover.
+    [causalb-lint] replays this schedule purely: its demand is
+    [causal-total], met by the {!Total_order} sequencer box of Fig. 4,
+    while under {!App_check} the gap is closed by the application's
+    context check rather than the broadcast layer.
+
+    @raise Invalid_argument if [front_ends <= 0] or [keys <= 0]. *)
+
 val updates_issued : t -> int
 
 val queries_issued : t -> int

@@ -1,0 +1,40 @@
+(* The ordering-guarantee chain. Rank encodes the lattice order; keep the
+   constructors in ascending rank so [compare] and [leq] agree. *)
+
+type t = Unordered | Fifo | Causal | Causal_total
+
+let rank = function
+  | Unordered -> 0
+  | Fifo -> 1
+  | Causal -> 2
+  | Causal_total -> 3
+
+let leq a b = rank a <= rank b
+
+let join a b = if rank a >= rank b then a else b
+
+let meet a b = if rank a <= rank b then a else b
+
+let bot = Unordered
+
+let top = Causal_total
+
+let compare a b = Int.compare (rank a) (rank b)
+
+let equal a b = rank a = rank b
+
+let to_string = function
+  | Unordered -> "unordered"
+  | Fifo -> "fifo"
+  | Causal -> "causal"
+  | Causal_total -> "causal-total"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "unordered" -> Some Unordered
+  | "fifo" -> Some Fifo
+  | "causal" -> Some Causal
+  | "causal-total" | "causal_total" | "total" -> Some Causal_total
+  | _ -> None
+
+let pp ppf g = Format.pp_print_string ppf (to_string g)

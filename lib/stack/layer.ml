@@ -1,5 +1,7 @@
 module Metrics = Causalb_stackbase.Metrics
 
+module Guarantee = Causalb_stackbase.Guarantee
+
 module type S = sig
   type t
 
@@ -10,6 +12,10 @@ module type S = sig
   val receive : t -> below -> unit
 
   val metrics : t -> Metrics.t
+
+  val provides : Guarantee.t
+
+  val requires : Guarantee.t
 end
 
 module type PAYLOAD = sig
@@ -28,6 +34,10 @@ module Fifo_layer (P : PAYLOAD) = struct
   let receive = Fifo.receive
 
   let metrics = Fifo.metrics
+
+  let provides = Fifo.provides
+
+  let requires = Fifo.requires
 end
 
 module Bss_layer (P : PAYLOAD) = struct
@@ -42,6 +52,10 @@ module Bss_layer (P : PAYLOAD) = struct
   let receive = Bss.receive
 
   let metrics = Bss.metrics
+
+  let provides = Bss.provides
+
+  let requires = Bss.requires
 end
 
 module Osend_layer (P : PAYLOAD) = struct
@@ -56,6 +70,10 @@ module Osend_layer (P : PAYLOAD) = struct
   let receive = Osend.receive
 
   let metrics = Osend.metrics
+
+  let provides = Osend.provides
+
+  let requires = Osend.requires
 end
 
 module Merge_layer (P : PAYLOAD) = struct
@@ -70,6 +88,10 @@ module Merge_layer (P : PAYLOAD) = struct
   let receive = Asend.Merge.on_causal_deliver
 
   let metrics = Asend.Merge.metrics
+
+  let provides = Asend.Merge.provides
+
+  let requires = Asend.Merge.requires
 end
 
 module Counted_layer (P : PAYLOAD) = struct
@@ -84,4 +106,8 @@ module Counted_layer (P : PAYLOAD) = struct
   let receive = Asend.Counted.on_causal_deliver
 
   let metrics = Asend.Counted.metrics
+
+  let provides = Asend.Counted.provides
+
+  let requires = Asend.Counted.requires
 end

@@ -31,6 +31,7 @@
     working — but they are the contract new layers must meet. *)
 
 module Metrics := Causalb_stackbase.Metrics
+module Guarantee := Causalb_stackbase.Guarantee
 
 module type S = sig
   type t
@@ -48,6 +49,17 @@ module type S = sig
 
   val metrics : t -> Metrics.t
   (** The layer's uniform counters.  Gauges are refreshed on read. *)
+
+  val provides : Guarantee.t
+  (** The ordering guarantee this layer's releases satisfy, given that
+      its requirement below is met. *)
+
+  val requires : Guarantee.t
+  (** The minimum guarantee the composition below must already provide
+      for [provides] to hold.  The static verifier
+      ([Causalb_analysis.Stack_verify]) folds a pipeline bottom-up and
+      rejects any layer whose requirement exceeds what is available
+      beneath it. *)
 end
 
 module type PAYLOAD = sig

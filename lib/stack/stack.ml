@@ -44,6 +44,7 @@ type 'a impl =
 type 'a t = {
   engine : Engine.t;
   nodes : int;
+  transport_fifo : bool;
   impl : 'a impl;
   totals : 'a total_member array;
   total_name : string option; (* merge/counted row name; None when absent *)
@@ -213,6 +214,7 @@ let compose ?(ordering = Osend) ?(total = Pass) ?(latency = Latency.lan)
     {
       engine;
       nodes;
+      transport_fifo = fifo;
       impl;
       totals;
       total_name;
@@ -347,6 +349,61 @@ let metrics t =
         [ Metrics.combine ~latency:t.total_latency ~name parts ])
   in
   (transport :: causal :: total)
+
+(* --- guarantee lattice ---------------------------------------------- *)
+
+module Guarantee = Causalb_stackbase.Guarantee
+
+(* The bottom-up [(layer, requires, provides)] descriptors the static
+   verifier folds.  Per-link FIFO transport delivers each sender's copies
+   in send order at each receiver, which for broadcast is exactly the
+   per-sender FIFO guarantee. *)
+let layer_guarantees ~ordering ~total ~fifo =
+  let transport =
+    ( "transport",
+      Guarantee.Unordered,
+      if fifo then Guarantee.Fifo else Guarantee.Unordered )
+  in
+  let causal =
+    match ordering with
+    | Fifo -> ("causal:fifo", Fifo.requires, Fifo.provides)
+    | Bss -> ("causal:bss", Bss.requires, Bss.provides)
+    | Psync -> ("causal:psync", Psync.requires, Psync.provides)
+    | Osend -> ("causal:osend", Osend.requires, Osend.provides)
+  in
+  let tail =
+    match total with
+    | Pass -> []
+    | Merge _ ->
+      [ ("total:merge", Asend.Merge.requires, Asend.Merge.provides) ]
+    | Counted _ ->
+      [ ("total:counted", Asend.Counted.requires, Asend.Counted.provides) ]
+    | Sequencer _ ->
+      [
+        ( "total:sequencer",
+          Asend.Sequencer.requires,
+          Asend.Sequencer.provides );
+      ]
+  in
+  transport :: causal :: tail
+
+let guarantee t =
+  let causal =
+    match t.impl with
+    | I_fifo _ -> Fifo.provides
+    | I_bss _ -> Bss.provides
+    | I_psync _ -> Psync.provides
+    | I_osend _ -> Osend.provides
+  in
+  let transport =
+    if t.transport_fifo then Guarantee.Fifo else Guarantee.Unordered
+  in
+  let total =
+    match t.total_name with
+    | None -> Guarantee.bot
+    | Some _ -> Guarantee.Causal_total
+  in
+  Guarantee.join transport (Guarantee.join causal total)
 
 let describe t =
   let causal = ordering_name (match t.impl with

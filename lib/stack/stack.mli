@@ -121,6 +121,24 @@ val metrics : 'a t -> Metrics.t list
     layer when present.  Counters are summed across members; latency is
     the stack-measured submit-to-release distribution of that layer. *)
 
+val layer_guarantees :
+  ordering:ordering ->
+  total:'a total ->
+  fifo:bool ->
+  (string * Causalb_stackbase.Guarantee.t * Causalb_stackbase.Guarantee.t)
+  list
+(** Bottom-up [(layer, requires, provides)] descriptors of the pipeline
+    [compose] would build from the same arguments — the input of the
+    static verifier ([Causalb_analysis.Stack_verify]).  The transport row
+    provides [Fifo] under per-link FIFO ([fifo = true]) and [Unordered]
+    otherwise; every other row carries the declaration of the engine
+    implementing it ({!Layer.S}). *)
+
+val guarantee : 'a t -> Causalb_stackbase.Guarantee.t
+(** The top-of-stack ordering guarantee of this composition — the join of
+    every layer's [provides], {e assuming} each layer's requirement is
+    met (which [Causalb_analysis.Stack_verify.verify] checks). *)
+
 val describe : 'a t -> string
 (** ["transport -> causal:osend -> total:merge -> app"]. *)
 

@@ -224,6 +224,43 @@ let test_lint () =
   check "drop_label produces issues" true
     (Spec_lint.lint (Mutate.drop_label g b) <> [])
 
+let test_lint_sends () =
+  let a = lbl ~name:"a" 0 0 and b = lbl ~name:"b" 1 0 in
+  check "clean send list" true
+    (Spec_lint.lint_sends [ (a, Dep.null); (b, Dep.after a) ] = []);
+  (* two sends defining the same label, with the positions reported *)
+  let issues =
+    Spec_lint.lint_sends [ (a, Dep.null); (b, Dep.null); (a, Dep.after b) ]
+  in
+  check "duplicate flagged with positions" true
+    (List.exists
+       (function
+         | Spec_lint.Duplicate_label { first = 0; second = 2; label } ->
+           Label.equal label a
+         | _ -> false)
+       issues);
+  check "stable issue name" true
+    (List.mem "lint:duplicate-label" (List.map Spec_lint.issue_name issues));
+  check "diag carries the label" true
+    (List.exists
+       (fun d ->
+         d.Diag.check = "lint:duplicate-label" && d.Diag.chain = [ a ])
+       (Spec_lint.to_diags issues));
+  (* the surviving sends are still linted as a graph *)
+  check "survivors linted" true
+    (List.mem "lint:dangling"
+       (List.map Spec_lint.issue_name
+          (Spec_lint.lint_sends [ (a, Dep.after b) ])));
+  (* a duplicate whose first definition carries the edges: dropping the
+     second must not lose them *)
+  let issues =
+    Spec_lint.lint_sends [ (a, Dep.null); (b, Dep.after a); (b, Dep.null) ]
+  in
+  check "only the duplicate reported" true
+    (List.for_all
+       (function Spec_lint.Duplicate_label _ -> true | _ -> false)
+       issues)
+
 (* --- the simulated compositions, clean and mutated --------------------- *)
 
 let all_specs ops =
@@ -373,7 +410,11 @@ let () =
           Alcotest.test_case "total order" `Quick test_total_order_checker;
           Alcotest.test_case "stable points" `Quick test_stable_checker;
         ] );
-      ("lint", [ Alcotest.test_case "spec issues" `Quick test_lint ]);
+      ( "lint",
+        [
+          Alcotest.test_case "spec issues" `Quick test_lint;
+          Alcotest.test_case "send list / duplicates" `Quick test_lint_sends;
+        ] );
       ( "harness",
         [
           Alcotest.test_case "compositions pass" `Quick test_compositions_pass;

@@ -116,6 +116,33 @@ let test_graph_ancestors_descendants () =
     (Label.Set.equal (Depgraph.descendants g mk)
        (Label.Set.of_list [ mi; mi'; mj ]))
 
+let test_graph_path_edge_cases () =
+  let g = Depgraph.create () in
+  let a = l ~name:"a" 0 0 and b = l ~name:"b" 0 1 in
+  (* empty graph: no endpoints, no path *)
+  check "empty graph has no path" true (Depgraph.shortest_path g a b = None);
+  Depgraph.add g a ~dep:Dep.null;
+  (* the degenerate self-path: a single-label chain, no edge needed *)
+  check "self path is the singleton chain" true
+    (Depgraph.shortest_path g a a = Some [ a ]);
+  check "missing endpoint" true (Depgraph.shortest_path g a b = None);
+  (* label defined after use: c's predicate names b before any send
+     defines it — dangling until the definition catches up *)
+  let c = l ~name:"c" 1 0 in
+  Depgraph.add g c ~dep:(Dep.after b);
+  check "forward reference dangles" true
+    (Depgraph.missing_parents g c = [ b ]);
+  check "no path through an undefined label" true
+    (Depgraph.shortest_path g b c = None);
+  Depgraph.add g b ~dep:(Dep.after a);
+  check "definition resolves the dangle" true
+    (Depgraph.missing_parents g c = []);
+  check "path spans the late definition" true
+    (Depgraph.shortest_path g a c = Some [ a; b; c ]);
+  check "edges stay directed" true (Depgraph.shortest_path g c a = None);
+  check "defined roots have no missing parents" true
+    (Depgraph.missing_parents g a = [])
+
 let test_graph_duplicate_and_self () =
   let g = Depgraph.create () in
   let a = l 0 0 in
@@ -363,6 +390,8 @@ let () =
           Alcotest.test_case "ancestors/descendants" `Quick
             test_graph_ancestors_descendants;
           Alcotest.test_case "duplicate/self" `Quick test_graph_duplicate_and_self;
+          Alcotest.test_case "path edge cases" `Quick
+            test_graph_path_edge_cases;
           Alcotest.test_case "topological" `Quick test_graph_topological;
           Alcotest.test_case "linearizations" `Quick test_graph_linearizations;
           Alcotest.test_case "factorial growth" `Quick
