@@ -1,7 +1,14 @@
-(* The BENCH_PR5.json artifact: one schema covering both the before/after
-   hot-path rows (superset of the PR 3 {name; n; before_ns; after_ns;
-   speedup} rows, now with GC allocation columns) and the parallel-sweep
-   section the [causalb bench -j N] runner appends.
+(* The BENCH_PR6.json artifact (schema causalb-bench-v3): the v2 shape —
+   before/after hot-path rows with GC allocation columns plus
+   parallel-sweep sections — extended with
+
+   - [wire_bytes_per_unit] on rows: for the wire-codec shapes, the frame
+     bytes one delivered copy carries (0 for shapes with no wire);
+   - [mode] on sweeps ("seq" | "fork" | "domains"), so a fork sweep and
+     a domains sweep of the same registry sit side by side;
+   - per-mode measured and modelled speedup fields (the model matches
+     the scheduler: static round-robin for fork, dynamic claiming for
+     domains).
 
    Per-unit normalisation: each row records [units] — how many logical
    operations (delivered messages, received stamps, …) one run of the
@@ -21,6 +28,7 @@ type row = {
   after_minor_words : float;
   before_major_words : float;
   after_major_words : float;
+  wire_bytes_per_unit : float; (* frame bytes per delivered copy; 0 = n/a *)
 }
 
 let speedup r = r.before_ns /. r.after_ns
@@ -46,6 +54,8 @@ let json_of_row r =
       ("gc_major_words_after", Json.Num (Float.round r.after_major_words));
       ( "minor_words_saved",
         Json.Num (Float.round (minor_words_saved r *. 1000.0) /. 1000.0) );
+      ( "wire_bytes_per_unit",
+        Json.Num (Float.round (r.wire_bytes_per_unit *. 100.0) /. 100.0) );
     ]
 
 (* One task of a pool sweep, as reported by Causalb_harness.Pool. *)
@@ -57,11 +67,17 @@ type sweep_task = {
   gc_major_words : float;
 }
 
-type sweep = { jobs : int; wall_ms : float; tasks : sweep_task list }
+type sweep = {
+  mode : string; (* "seq" | "fork" | "domains" *)
+  jobs : int;
+  wall_ms : float;
+  tasks : sweep_task list;
+}
 
 let json_of_sweep s =
   Json.Obj
     [
+      ("mode", Json.Str s.mode);
       ("jobs", Json.Num (float_of_int s.jobs));
       ("wall_ms", Json.Num (Float.round (s.wall_ms *. 10.0) /. 10.0));
       ( "tasks",
@@ -101,51 +117,77 @@ let cores () =
   let n = count_processors "/proc/cpuinfo" in
   if n > 0 then n else 1
 
-let default_path = "BENCH_PR5.json"
+let default_path = "BENCH_PR6.json"
 
 let path () =
   Option.value ~default:default_path (Sys.getenv_opt "CAUSALB_BENCH_OUT")
+
+(* Modelled parallel wall from per-task sequential walls, matching the
+   scheduler that actually ran: the fork pool shards statically
+   round-robin, so its wall is the busiest shard; the domains pool
+   claims dynamically in task order, so its wall is greedy list
+   scheduling.  This is what a machine with >= jobs free cores would
+   measure; recorded next to [cores] so a 1-core run doesn't masquerade
+   as a parallel win. *)
+let modelled_wall ~mode ~jobs (tasks1 : sweep_task list) =
+  let shard = Array.make (max 1 jobs) 0.0 in
+  (match mode with
+  | "fork" ->
+    List.iteri
+      (fun i (t : sweep_task) ->
+        let w = i mod jobs in
+        shard.(w) <- shard.(w) +. t.wall_ms)
+      tasks1
+  | _ ->
+    List.iter
+      (fun (t : sweep_task) ->
+        let w = ref 0 in
+        Array.iteri (fun i v -> if v < shard.(!w) then w := i) shard;
+        shard.(!w) <- shard.(!w) +. t.wall_ms)
+      tasks1);
+  Array.fold_left Float.max 0.0 shard
 
 let write ?(quota_ms = 0) ~rows ~sweeps () =
   let sweep_fields =
     match sweeps with
     | [] -> []
     | _ ->
-      let wall j =
-        List.find_opt (fun s -> s.jobs = j) sweeps
-        |> Option.map (fun s -> s.wall_ms)
-      in
+      let seq = List.find_opt (fun s -> s.jobs <= 1) sweeps in
+      let parallel = List.filter (fun s -> s.jobs > 1) sweeps in
+      let round2 x = Float.round (x *. 100.0) /. 100.0 in
       let measured =
-        match (wall 1, List.rev sweeps) with
-        | Some w1, s :: _ when s.jobs > 1 && s.wall_ms > 0.0 ->
-          [ ("sweep_speedup_measured", Json.Num
-               (Float.round (w1 /. s.wall_ms *. 100.0) /. 100.0)) ]
-        | _ -> []
+        match seq with
+        | Some s1 ->
+          List.filter_map
+            (fun s ->
+              if s.wall_ms > 0.0 then
+                Some
+                  ( "sweep_speedup_measured_" ^ s.mode,
+                    Json.Num (round2 (s1.wall_ms /. s.wall_ms)) )
+              else None)
+            parallel
+        | None -> []
       in
-      (* Modelled speedup: with per-task j=1 walls and static round-robin
-         shards, the parallel wall is the busiest shard.  This is what a
-         machine with >= jobs free cores would measure; recorded next to
-         [cores] so a 1-core run doesn't masquerade as a parallel win. *)
       let modelled =
-        match (List.find_opt (fun s -> s.jobs = 1) sweeps, List.rev sweeps) with
-        | Some s1, sj :: _ when sj.jobs > 1 ->
+        match seq with
+        | Some s1 ->
           let total =
             List.fold_left
               (fun a (t : sweep_task) -> a +. t.wall_ms)
               0.0 s1.tasks
           in
-          let shard = Array.make sj.jobs 0.0 in
-          List.iteri
-            (fun i (t : sweep_task) ->
-              let w = i mod sj.jobs in
-              shard.(w) <- shard.(w) +. t.wall_ms)
-            s1.tasks;
-          let critical = Array.fold_left Float.max 0.0 shard in
-          if critical > 0.0 then
-            [ ("sweep_speedup_modelled", Json.Num
-                 (Float.round (total /. critical *. 100.0) /. 100.0)) ]
-          else []
-        | _ -> []
+          List.filter_map
+            (fun s ->
+              let critical =
+                modelled_wall ~mode:s.mode ~jobs:s.jobs s1.tasks
+              in
+              if critical > 0.0 then
+                Some
+                  ( "sweep_speedup_modelled_" ^ s.mode,
+                    Json.Num (round2 (total /. critical)) )
+              else None)
+            parallel
+        | None -> []
       in
       [ ("sweeps", Json.List (List.map json_of_sweep sweeps)) ]
       @ measured @ modelled
@@ -153,8 +195,10 @@ let write ?(quota_ms = 0) ~rows ~sweeps () =
   let doc =
     Json.Obj
       ([
-         ("schema", Json.Str "causalb-bench-v2");
-         ("bench", Json.Str "allocation-lean hot paths + parallel sweep");
+         ("schema", Json.Str "causalb-bench-v3");
+         ("bench",
+          Json.Str
+            "allocation-lean hot paths + wire codec + parallel sweep");
          ("quota_ms", Json.Num (float_of_int quota_ms));
          ("cores", Json.Num (float_of_int (cores ())));
          ("rows", Json.List (List.map json_of_row rows));

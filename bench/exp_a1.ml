@@ -12,6 +12,7 @@ module Dep = Causalb_graph.Dep
 module Label = Causalb_graph.Label
 module Stats = Causalb_util.Stats
 module Table = Causalb_util.Table
+module Printer = Causalb_util.Printer
 
 let nodes = 4
 
@@ -90,7 +91,7 @@ let run_exp () =
         ])
     [ 0.0; 0.05; 0.1; 0.2; 0.35; 0.5 ];
   Table.print t;
-  print_endline
+  Printer.line
     "Expected shape: completeness stays total across the sweep while\n\
      overhead messages and tail latency grow with the loss rate — the\n\
      reliable-substrate assumption is purchasable at bounded cost."

@@ -9,6 +9,7 @@ module Net = Causalb_net.Net
 module Vgroup = Causalb_core.Vgroup
 module Stats = Causalb_util.Stats
 module Table = Causalb_util.Table
+module Printer = Causalb_util.Printer
 
 let run_exp () =
   let t =
@@ -63,7 +64,7 @@ let run_exp () =
         ])
     [ 2; 4; 8; 16; 32 ];
   Table.print t;
-  print_endline
+  Printer.line
     "Expected shape: time-to-installed grows mildly with n (one flush\n\
      broadcast per member, all concurrent); the message bill for a change\n\
      is ~n broadcasts = O(n^2) unicasts, plus the interrupted traffic's\n\

@@ -11,6 +11,7 @@ module Fault = Causalb_net.Fault
 module Rgroup = Causalb_core.Rgroup
 module Dep = Causalb_graph.Dep
 module Table = Causalb_util.Table
+module Printer = Causalb_util.Printer
 
 let run_one ~ops ~gc =
   let engine = Engine.create ~seed:29 () in
@@ -66,7 +67,7 @@ let run () =
         ])
     [ 100; 400; 1_600 ];
   Table.print t;
-  print_endline
+  Printer.line
     "Expected shape: without GC the stash equals the whole history (grows\n\
      with ops); with the watermark protocol the peak plateaus at roughly\n\
      the traffic of one heartbeat interval, independent of run length —\n\

@@ -19,6 +19,7 @@ module Dep = Causalb_graph.Dep
 module Label = Causalb_graph.Label
 module Stats = Causalb_util.Stats
 module Table = Causalb_util.Table
+module Printer = Causalb_util.Printer
 
 type payload = Req of int | Ack of int | Commit of int
 
@@ -109,7 +110,7 @@ let run () =
         ])
     [ 0.4; 0.8; 1.2; 1.6 ];
   Table.print t;
-  print_endline
+  Printer.line
     "Expected shape: the OR commit launches on the first ack instead of\n\
      the slowest, so its round-trip tracks the minimum of the responder\n\
      delays rather than the maximum; the gap grows with link variance\n\

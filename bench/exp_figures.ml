@@ -18,11 +18,12 @@ module Service = Causalb_data.Service
 module Replica = Causalb_data.Replica
 module Lock = Causalb_protocols.Lock_service
 module Table = Causalb_util.Table
+module Printer = Causalb_util.Printer
 
 let jittery = Latency.lognormal ~mu:0.5 ~sigma:1.0 ()
 
 let hr title =
-  Printf.printf "\n================ %s ================\n" title
+  Printer.printf "\n================ %s ================\n" title
 
 (* F1 (Fig. 1): a data-access message is seen by all entities; every local
    copy changes identically. *)
@@ -37,11 +38,11 @@ let f1 () =
   Service.run svc;
   List.iter
     (fun r ->
-      Printf.printf "entity a%d: VAL = %s\n" (Replica.id r)
+      Printer.printf "entity a%d: VAL = %s\n" (Replica.id r)
         (Option.value ~default:"?" (Dt.Kv_store.lookup (Replica.state r) "VAL")))
     (Service.replicas svc);
   assert (List.for_all snd (Service.check svc));
-  print_endline "all entities saw the access message: OK"
+  Printer.line "all entities saw the access message: OK"
 
 (* F2 (Fig. 2): R(M) = mk -> ||{mi, mi'}: concurrent messages are seen in
    different orders, but a message depending on both is a synchronization
@@ -80,7 +81,7 @@ let f2 () =
       assert (Label.equal (List.hd order) mk);
       assert (Label.equal (List.nth order 3) mj))
     orders;
-  print_endline
+  Printer.line
     "mk first and mj last everywhere; mi/mi' interleave freely: OK"
 
 (* F3 (Fig. 3): the message dependency graph, extracted from the OSend
@@ -97,9 +98,10 @@ let f3 () =
     (Group.osend group ~src:0 ~name:"m3" ~dep:(Dep.after_all [ m1; m2 ]) "m3");
   Engine.run engine;
   let g0 = Osend.graph (Group.member group 0) in
-  Format.printf "graph as seen by member 0:@.%a@." Depgraph.pp g0;
-  print_endline "dot rendering:";
-  print_string (Depgraph.to_dot g0);
+  Printer.string
+    (Format.asprintf "graph as seen by member 0:@.%a@." Depgraph.pp g0);
+  Printer.line "dot rendering:";
+  Printer.string (Depgraph.to_dot g0);
   (* stable information: all members extracted the same graph *)
   List.iter
     (fun node ->
@@ -108,7 +110,7 @@ let f3 () =
         List.sort compare (Depgraph.edges g)
         = List.sort compare (Depgraph.edges g0)))
     [ 1; 2 ];
-  print_endline "graphs identical at all members (stable information): OK"
+  Printer.line "graphs identical at all members (stable information): OK"
 
 (* F4 (Fig. 4): the total-ordering function interposed between causal
    broadcast and the application. *)
@@ -159,9 +161,9 @@ let f4 () =
   let totals = Array.to_list (Array.map Asend.Merge.total_order merges) in
   assert (Checker.identical_orders totals);
   let raws = Array.to_list (Array.map (fun o -> List.rev o) raw_orders) in
-  Printf.printf "raw orders identical: %b (expected: usually false)\n"
+  Printer.printf "raw orders identical: %b (expected: usually false)\n"
     (Checker.identical_orders raws);
-  print_endline "ASend orders identical at all members: OK"
+  Printer.line "ASend orders identical at all members: OK"
 
 (* F5 (Fig. 5): the LOCK/TFR arbitration timeline. *)
 let f5 () =
@@ -191,7 +193,7 @@ let f5 () =
   assert (Lock.check_mutual_exclusion lock);
   assert (Lock.check_agreement lock);
   assert (Lock.check_liveness lock ~expected_cycles:2);
-  print_endline "mutual exclusion, agreement, liveness: OK"
+  Printer.line "mutual exclusion, agreement, liveness: OK"
 
 let run () =
   f1 ();

@@ -14,6 +14,7 @@ module Drivers = Causalb_harness.Drivers
 module Seq_spec = Causalb_data.Seq_spec
 module Objects = Causalb_data.Objects
 module Table = Causalb_util.Table
+module Printer = Causalb_util.Printer
 
 let replicas = 4
 
@@ -61,7 +62,7 @@ let run () =
   in
   Table.add_row t (row "rga collab edit" (cid_of Objects.Rga.spec) edit);
   Table.print t;
-  print_endline
+  Printer.line
     "Expected shape: every object derives its Cid set from the declared\n\
      commutativity relation (note the RGA: both mutators ride the\n\
      window, only the read is a sync point), every closing sync leaves\n\

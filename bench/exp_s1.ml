@@ -10,6 +10,7 @@
 module Drivers = Causalb_harness.Drivers
 module Metrics = Causalb_stackbase.Metrics
 module Table = Causalb_util.Table
+module Printer = Causalb_util.Printer
 
 let replicas = 4
 
@@ -75,7 +76,7 @@ let run () =
     specs;
   Table.print summary;
   Table.print detail;
-  print_endline
+  Printer.line
     "Expected shape: release latency rises as compositions demand more\n\
      ordering — fifo < causal (bss/psync/osend by constraint set) <\n\
      interposed total order; the merge pays with held messages, the\n\

@@ -14,6 +14,7 @@
    placement, determines the bytes. *)
 
 module Table = Causalb_util.Table
+module Printer = Causalb_util.Printer
 module Stats = Causalb_util.Stats
 module Latency = Causalb_sim.Latency
 open Exp_common
@@ -52,7 +53,7 @@ let make_table () =
   Table.set_widths t widths;
   t
 
-let head () = print_string (Table.render_header (make_table ()))
+let head () = Printer.string (Table.render_header (make_table ()))
 
 let row n =
   let t = make_table () in
@@ -78,12 +79,12 @@ let row n =
       string_of_int causal.messages;
       string_of_int tstamp.messages;
     ];
-  print_string (Table.render_data_rows t)
+  Printer.string (Table.render_data_rows t)
 
 let tail () =
-  print_string (Table.render_footer (make_table ()));
-  print_newline ();
-  print_endline
+  Printer.string (Table.render_footer (make_table ()));
+  Printer.newline ();
+  Printer.line
     "Expected shape: the causal stable-point path is fastest at every n —\n\
      it processes immediately and only agrees at sync points.  Both total\n\
      orders are slower: the sequencer pays an extra hop plus\n\

@@ -6,6 +6,7 @@
    with the commutative fraction. *)
 
 module Table = Causalb_util.Table
+module Printer = Causalb_util.Printer
 module Stats = Causalb_util.Stats
 open Exp_common
 
@@ -48,7 +49,7 @@ let run () =
         ])
     [ 0.0; 0.5; 0.8; 0.9; 0.95; 0.99 ];
   Table.print t;
-  print_endline
+  Printer.line
     "Expected shape: the apply-latency speedup over the sequencer holds\n\
      across the sweep, and the paper's operating point (p=0.9, f̄≈20-ish\n\
      windows) gets the benefit on 90% of operations.  Stability latency\n\

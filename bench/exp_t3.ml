@@ -7,6 +7,7 @@
    degenerate case f̄ = 0 taken to every message. *)
 
 module Table = Causalb_util.Table
+module Printer = Causalb_util.Printer
 open Exp_common
 
 let run () =
@@ -48,7 +49,7 @@ let run () =
         ])
     [ 0; 1; 5; 20; 50 ];
   Table.print t;
-  print_endline
+  Printer.line
     "Expected shape: the causal protocol keeps ~1-2 constraint edges per\n\
      op at any f̄ while each agreement point covers f̄+1 ops; the\n\
      sequencer chain forces a wait on nearly every delivery because each\n\

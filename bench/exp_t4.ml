@@ -12,6 +12,7 @@ module Latency = Causalb_sim.Latency
 module Ns = Causalb_protocols.Name_service
 module Stats = Causalb_util.Stats
 module Table = Causalb_util.Table
+module Printer = Causalb_util.Printer
 module Rng = Causalb_util.Rng
 
 let drive mode ~update_frac ~total ~seed =
@@ -65,7 +66,7 @@ let run () =
         ])
     [ 0.05; 0.1; 0.2; 0.4; 0.6 ];
   Table.print t;
-  print_endline
+  Printer.line
     "Expected shape: app-check latency ~flat and well below total order;\n\
      discard rate climbs with the update fraction — the regime where the\n\
      paper says to fall back to total ordering."

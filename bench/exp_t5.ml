@@ -9,6 +9,7 @@ module Latency = Causalb_sim.Latency
 module Lock = Causalb_protocols.Lock_service
 module Stats = Causalb_util.Stats
 module Table = Causalb_util.Table
+module Printer = Causalb_util.Printer
 
 let run () =
   let cycles = 8 in
@@ -56,7 +57,7 @@ let run () =
         ])
     [ 2; 4; 8; 12; 16 ];
   Table.print t;
-  print_endline
+  Printer.line
     "Expected shape: cycle duration and wait grow ~linearly with n (the\n\
      resource is serial); messages per grant stay ~2n (one LOCK + one TFR\n\
      broadcast per holder), with no arbitration-only messages."

@@ -19,6 +19,7 @@ module Bss = Causalb_core.Bss
 module Dep = Causalb_graph.Dep
 module Stats = Causalb_util.Stats
 module Table = Causalb_util.Table
+module Printer = Causalb_util.Printer
 
 let nodes = 5
 
@@ -145,7 +146,7 @@ let run () =
         ])
     [ 0.2; 0.6; 1.0; 1.4; 1.8 ];
   Table.print t;
-  print_endline
+  Printer.line
     "Expected shape: both incidental-ordering substrates (Psync\n\
      conversations and BSS vector clocks) force waits that the explicit\n\
      semantic dependencies avoid, and their tail latency inflates with\n\

@@ -20,6 +20,7 @@ module Item_frontend = Causalb_data.Item_frontend
 module Stats = Causalb_util.Stats
 module Rng = Causalb_util.Rng
 module Table = Causalb_util.Table
+module Printer = Causalb_util.Printer
 
 let replicas = 5
 
@@ -131,7 +132,7 @@ let run () =
         ])
     [ 0.4; 0.8; 1.2 ];
   Table.print t;
-  print_endline
+  Printer.line
     "Expected shape: the per-item front-end trims the constraint-edge\n\
      density and, more importantly, slashes forced waits and sync tail\n\
      latency — item syncs stop waiting for other items' in-flight\n\

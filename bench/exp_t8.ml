@@ -24,6 +24,7 @@ module Replica = Causalb_data.Replica
 module Stats = Causalb_util.Stats
 module Rng = Causalb_util.Rng
 module Table = Causalb_util.Table
+module Printer = Causalb_util.Printer
 
 let nodes = 5
 
@@ -124,7 +125,7 @@ let run () =
   row "stable points + deferred reads" (run_stable ~sync_reads:false ());
   row "stable points + sync reads" (run_stable ~sync_reads:true ());
   Table.print t;
-  print_endline
+  Printer.line
     "Expected shape: causal memory reads instantly and cheaply but can\n\
      leave variables permanently divergent after concurrent assignments;\n\
      the stable-point model pays read latency (deferred) or read\n\

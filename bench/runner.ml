@@ -8,6 +8,7 @@
    [test/test_pool.ml] asserts. *)
 
 module Pool = Causalb_harness.Pool
+module Dpool = Causalb_harness.Dpool
 
 type outcome = {
   report : Pool.report;
@@ -45,10 +46,36 @@ let run ?(jobs = 1) ?(base_seed = 42) experiments =
   let report = Pool.run ~jobs ~base_seed (tasks_of experiments) in
   { report; stdout_text = assemble experiments report }
 
-(* The sweep section of BENCH_PR5.json, from one pool run. *)
-let sweep_of (o : outcome) =
+(* The domains path ([-J n]): same registry, same assembly, but parts
+   run on worker domains with sink capture instead of forked processes
+   with fd capture.  Deterministic parts print through [Printer] and go
+   [Parallel]; timing parts keep raw prints and exclusive machine use,
+   so they run [Sequential] in the main domain before any worker domain
+   spawns. *)
+let dtasks_of experiments =
+  List.concat_map
+    (fun (e : Registry.experiment) ->
+      let mode =
+        match e.kind with
+        | Registry.Deterministic -> Dpool.Parallel
+        | Registry.Timing -> Dpool.Sequential
+      in
+      List.map
+        (fun (p : Registry.part) ->
+          Dpool.task ~mode ~name:p.pname (fun ~seed:_ -> p.prun ()))
+        e.parts)
+    experiments
+
+let run_domains ?(domains = 1) ?(base_seed = 42) experiments =
+  let report = Dpool.run ~domains ~base_seed (dtasks_of experiments) in
+  { report; stdout_text = assemble experiments report }
+
+(* One sweep section of BENCH_PR6.json, from one pool run; [mode] says
+   which scheduler ran it ("seq" | "fork" | "domains"). *)
+let sweep_of ~mode (o : outcome) =
   {
-    Bench_out.jobs = o.report.jobs;
+    Bench_out.mode;
+    jobs = o.report.jobs;
     wall_ms = o.report.wall_ms;
     tasks =
       List.map

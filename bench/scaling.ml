@@ -31,11 +31,20 @@
    - [clock.receive] — vector-clock message receipt: the PR 3 composition
      [tick (merge local remote) me] (two fresh vectors per stamp) vs the
      in-place [receive_into] (none).
+   - [wire.codec]   — envelope serialisation round trip: generic JSON
+     text (the pipe/artifact codec) vs the binary wire codec.  The row's
+     [wire_bytes_per_unit] records the binary frame size per envelope.
+   - [wire.fanout]  — serialisation work of one broadcast to 8
+     recipients: encode-per-recipient + decode-per-copy (what a naive
+     transport does) vs encode-once + shared-frame memoised decode
+     (what [Net.bcast] + [Codec.framed] do — one encode and one decode
+     per broadcast, however many recipients).
 
    Results go to a table on stdout and to the cumulative machine-readable
-   artifact (default [BENCH_PR5.json], override with CAUSALB_BENCH_OUT)
+   artifact (default [BENCH_PR6.json], override with CAUSALB_BENCH_OUT)
    via [Bench_out].  Each row is the PR 3 schema {name; n; before_ns;
-   after_ns; speedup} plus GC words and a [units] normaliser.  The n=64
+   after_ns; speedup} plus GC words, a [units] normaliser, and the wire
+   bytes one delivered copy carries (0 for non-wire shapes).  The n=64
    rows double as the no-regression guard for small workloads.
    CAUSALB_BENCH_QUOTA_MS shrinks the per-measurement budget for CI smoke
    runs. *)
@@ -53,6 +62,9 @@ module Rosend = Causalb_reference.Osend
 module Rbss = Causalb_reference.Bss
 module Rasend = Causalb_reference.Asend
 module Rnet = Causalb_reference.Net
+module Wire = Causalb_util.Wire
+module Json = Causalb_util.Json
+module Codec = Causalb_core.Codec
 
 let quota_ms =
   match Sys.getenv_opt "CAUSALB_BENCH_QUOTA_MS" with
@@ -144,7 +156,7 @@ let osend_chain n =
       Osend.receive m msgs.(i)
     done
   in
-  (before, after, float_of_int n)
+  (before, after, float_of_int n, 0.0)
 
 let osend_wide n =
   let children, independent, root = wide_msgs n in
@@ -160,7 +172,7 @@ let osend_wide n =
     Array.iter (Osend.receive m) independent;
     Osend.receive m root
   in
-  (before, after, float_of_int n)
+  (before, after, float_of_int n, 0.0)
 
 let bss_chain n =
   let envs = bss_envs n in
@@ -176,7 +188,7 @@ let bss_chain n =
       Bss.receive m envs.(i)
     done
   in
-  (before, after, float_of_int n)
+  (before, after, float_of_int n, 0.0)
 
 let counted_batch n =
   let msgs = counted_msgs n in
@@ -188,7 +200,7 @@ let counted_batch n =
     let m = Asend.Counted.create ~batch_size:n () in
     Array.iter (Asend.Counted.on_causal_deliver m) msgs
   in
-  (before, after, float_of_int n)
+  (before, after, float_of_int n, 0.0)
 
 (* Broadcast fan-out through the simulated transport, tracing off — the
    configuration every experiment driver runs in.  [n] is scaled into
@@ -224,7 +236,7 @@ let net_bcast n =
     done;
     assert (!sink = delivered)
   in
-  (before, after, float_of_int delivered)
+  (before, after, float_of_int delivered, 0.0)
 
 (* Vector-clock receipt over a 32-wide group, one stamp per unit.  The
    before side is the PR 3 composition (merge allocates, tick copies);
@@ -248,7 +260,108 @@ let clock_receive n =
       Vc.receive_into ~local ~remote:remotes.(i) ~me
     done
   in
-  (before, after, float_of_int n)
+  (before, after, float_of_int n, 0.0)
+
+(* --- wire codec shapes (new in PR 8); both sides are live code, the
+   "before" is the serialisation strategy the wire codec replaces --- *)
+
+let wire_env i : string Bss.envelope =
+  {
+    Bss.sender = i mod 8;
+    stamp = Vc.of_array [| i; i * 2 mod 97; 3; i mod 5; i mod 11 |];
+    tag = (if i mod 3 = 0 then "t" ^ string_of_int i else "");
+    payload = "payload-" ^ string_of_int (i mod 100);
+  }
+
+let json_of_env (e : string Bss.envelope) =
+  Json.Obj
+    [
+      ("sender", Json.Num (float_of_int e.sender));
+      ( "stamp",
+        Json.List
+          (Array.to_list (Vc.to_array e.stamp)
+          |> List.map (fun v -> Json.Num (float_of_int v))) );
+      ("tag", Json.Str e.tag);
+      ("payload", Json.Str e.payload);
+    ]
+
+let env_of_json j : string Bss.envelope =
+  let get k = Option.get (Json.member k j) in
+  {
+    Bss.sender = Json.get_int (get "sender");
+    stamp =
+      Vc.of_array
+        (Array.of_list (List.map Json.get_int (Json.get_list (get "stamp"))));
+    tag = Json.get_string (get "tag");
+    payload = Json.get_string (get "payload");
+  }
+
+let wire_enc = Codec.put_envelope Codec.put_str
+
+let wire_dec = Codec.get_envelope Codec.get_str
+
+(* Average binary frame size over the shape's envelopes — the bytes one
+   delivered copy carries, reported as the row's [wire_bytes_per_unit]. *)
+let avg_frame_bytes envs =
+  let pool = Wire.pool () in
+  let total =
+    Array.fold_left
+      (fun a e -> a + Wire.length (Codec.encode pool wire_enc e))
+      0 envs
+  in
+  float_of_int total /. float_of_int (Array.length envs)
+
+let wire_codec n =
+  let envs = Array.init n wire_env in
+  let sink = ref 0 in
+  let before () =
+    sink := 0;
+    for i = 0 to n - 1 do
+      let s = Json.to_string (json_of_env envs.(i)) in
+      let e = env_of_json (Json.of_string s) in
+      sink := !sink + e.Bss.sender
+    done
+  in
+  let pool = Wire.pool () in
+  let after () =
+    sink := 0;
+    for i = 0 to n - 1 do
+      let frame = Codec.encode pool wire_enc envs.(i) in
+      let e = Codec.decode wire_dec frame in
+      sink := !sink + e.Bss.sender
+    done
+  in
+  (before, after, float_of_int n, avg_frame_bytes envs)
+
+let wire_fanout n =
+  let nodes = 8 in
+  let rounds = max 1 (n / nodes) in
+  let delivered = rounds * nodes in
+  let envs = Array.init rounds wire_env in
+  let pool = Wire.pool () in
+  let sink = ref 0 in
+  let before () =
+    sink := 0;
+    for r = 0 to rounds - 1 do
+      for _dst = 1 to nodes do
+        let frame = Codec.encode pool wire_enc envs.(r) in
+        let e = Codec.decode wire_dec frame in
+        sink := !sink + e.Bss.sender
+      done
+    done
+  in
+  let after () =
+    sink := 0;
+    for r = 0 to rounds - 1 do
+      let frame = Codec.encode pool wire_enc envs.(r) in
+      let fr = Codec.framed frame in
+      for _dst = 1 to nodes do
+        let e = Codec.view fr ~dec:wire_dec in
+        sink := !sink + e.Bss.sender
+      done
+    done
+  in
+  (before, after, float_of_int delivered, avg_frame_bytes envs)
 
 let shapes =
   [
@@ -258,6 +371,8 @@ let shapes =
     ("counted.batch", counted_batch);
     ("net.bcast", net_bcast);
     ("clock.receive", clock_receive);
+    ("wire.codec", wire_codec);
+    ("wire.fanout", wire_fanout);
   ]
 
 let sizes = [ 64; 512; 4096 ]
@@ -268,7 +383,7 @@ let collect () =
     (fun (name, make) ->
       List.map
         (fun n ->
-          let before, after, units = make n in
+          let before, after, units, wire_bytes_per_unit = make n in
           let b = measure before in
           let a = measure after in
           let r =
@@ -282,6 +397,7 @@ let collect () =
               after_minor_words = a.minor_words;
               before_major_words = b.major_words;
               after_major_words = a.major_words;
+              wire_bytes_per_unit;
             }
           in
           Printf.printf
@@ -300,7 +416,8 @@ let print_table rows =
       ~title:"scaling (ns and minor-heap words per workload run)"
       ~columns:
         [ "shape"; "n"; "before ns"; "after ns"; "speedup";
-          "minor w/unit before"; "minor w/unit after"; "saved" ]
+          "minor w/unit before"; "minor w/unit after"; "saved";
+          "wire B/unit" ]
   in
   List.iter
     (fun (r : Bench_out.row) ->
@@ -316,6 +433,9 @@ let print_table rows =
           Causalb_util.Table.fmt_float ~digits:1
             (r.after_minor_words /. r.units);
           Causalb_util.Table.fmt_pct (Bench_out.minor_words_saved r);
+          (if r.wire_bytes_per_unit > 0.0 then
+             Causalb_util.Table.fmt_float ~digits:1 r.wire_bytes_per_unit
+           else "-");
         ])
     rows;
   Causalb_util.Table.print t

@@ -537,6 +537,31 @@ let jobs_arg =
   in
   Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
+let domains_arg =
+  let doc =
+    "Worker domains for the sweep (OCaml 5 multicore; on 4.14 the flag \
+     is accepted and runs sequentially).  Unlike -j this parallelises \
+     inside one process — no fork, shared code pages, output captured \
+     per-domain.  The assembled stdout is byte-identical to -j 1.  \
+     0 (the default) means: use -j instead."
+  in
+  Arg.(value & opt int 0 & info [ "J"; "domains" ] ~docv:"N" ~doc)
+
+let list_arg =
+  let doc = "List the experiment registry (id, kind, shard count) and exit." in
+  Arg.(value & flag & info [ "list" ] ~doc)
+
+let print_registry () =
+  List.iter
+    (fun (e : Registry.experiment) ->
+      Printf.printf "%-8s %-13s %2d shard(s)  %s\n" e.id
+        (match e.kind with
+        | Registry.Deterministic -> "deterministic"
+        | Registry.Timing -> "timing")
+        (List.length e.parts) e.descr)
+    Registry.all;
+  0
+
 let resolve_experiments ids ~default =
   match ids with
   | [] -> Ok default
@@ -570,21 +595,27 @@ let summarise_to_stderr (o : Runner.outcome) =
     Printf.eprintf "# FAILED experiment task(s): %s\n" (String.concat ", " names);
     1
 
-let exp_run jobs seed ids =
+let exp_run jobs domains list seed ids =
   (* With no ids, run the byte-reproducible experiments: the timing
      benches (micro, scaling) print measured durations, so they only run
      when asked for by name (or via [causalb bench]). *)
-  let default =
-    List.filter (fun (e : Registry.experiment) -> e.kind = Registry.Deterministic)
-      Registry.all
-  in
-  match resolve_experiments ids ~default with
-  | Error unknown -> report_unknown unknown
-  | Ok exps ->
-    let o = Runner.run ~jobs ~base_seed:seed exps in
-    print_string o.stdout_text;
-    print_endline "\nall requested experiments completed.";
-    summarise_to_stderr o
+  if list then print_registry ()
+  else
+    let default =
+      List.filter
+        (fun (e : Registry.experiment) -> e.kind = Registry.Deterministic)
+        Registry.all
+    in
+    match resolve_experiments ids ~default with
+    | Error unknown -> report_unknown unknown
+    | Ok exps ->
+      let o =
+        if domains > 0 then Runner.run_domains ~domains ~base_seed:seed exps
+        else Runner.run ~jobs ~base_seed:seed exps
+      in
+      print_string o.stdout_text;
+      print_endline "\nall requested experiments completed.";
+      summarise_to_stderr o
 
 let exp_cmd =
   let ids =
@@ -594,70 +625,104 @@ let exp_cmd =
   Cmd.v
     (Cmd.info "exp"
        ~doc:"Run registered experiments, optionally sharded across worker \
-             processes; stdout is byte-identical for every -j")
-    Term.(const exp_run $ jobs_arg $ seed $ ids)
+             processes (-j) or worker domains (-J); stdout is \
+             byte-identical for every -j/-J")
+    Term.(const exp_run $ jobs_arg $ domains_arg $ list_arg $ seed $ ids)
 
-let bench_run jobs seed =
-  (* 1. before/after hot-path shapes, with GC columns (in-process) *)
-  print_endline
-    "================ scaling: frozen reference vs live hot paths \
-     ================";
-  let rows = Causalb_bench.Scaling.collect () in
-  Causalb_bench.Scaling.print_table rows;
-  (* 2. the deterministic sweep, timed sequentially and (if -j > 1) in
-     parallel; the parallel run must reproduce the sequential bytes *)
-  let exps =
-    List.filter (fun (e : Registry.experiment) -> e.kind = Registry.Deterministic)
-      Registry.all
-  in
-  Printf.printf "timing deterministic sweep at -j 1 ...\n%!";
-  let o1 = Runner.run ~jobs:1 ~base_seed:seed exps in
-  let oj =
-    if jobs > 1 then begin
-      Printf.printf "timing deterministic sweep at -j %d ...\n%!" jobs;
-      Some (Runner.run ~jobs ~base_seed:seed exps)
+let bench_run jobs domains list seed =
+  if list then print_registry ()
+  else begin
+    (* 1. before/after hot-path shapes, with GC columns (in-process) *)
+    print_endline
+      "================ scaling: frozen reference vs live hot paths \
+       ================";
+    let rows = Causalb_bench.Scaling.collect () in
+    Causalb_bench.Scaling.print_table rows;
+    (* 2. the deterministic sweep, timed sequentially, then (if asked) on
+       forked workers (-j) and/or worker domains (-J); every parallel
+       run must reproduce the sequential bytes *)
+    let exps =
+      List.filter
+        (fun (e : Registry.experiment) -> e.kind = Registry.Deterministic)
+        Registry.all
+    in
+    Printf.printf "timing deterministic sweep at -j 1 ...\n%!";
+    let o1 = Runner.run ~jobs:1 ~base_seed:seed exps in
+    let oj =
+      if jobs > 1 then begin
+        Printf.printf "timing deterministic sweep at -j %d ...\n%!" jobs;
+        Some (Runner.run ~jobs ~base_seed:seed exps)
+      end
+      else None
+    in
+    let od =
+      if domains > 0 then begin
+        Printf.printf "timing deterministic sweep at -J %d ...\n%!" domains;
+        Some (Runner.run_domains ~domains ~base_seed:seed exps)
+      end
+      else None
+    in
+    let mismatches =
+      List.filter_map
+        (fun (flag, o) ->
+          match o with
+          | Some (o : Runner.outcome)
+            when not (String.equal o.stdout_text o1.stdout_text) ->
+            Some flag
+          | _ -> None)
+        [
+          (Printf.sprintf "-j %d" jobs, oj);
+          (Printf.sprintf "-J %d" domains, od);
+        ]
+    in
+    List.iter
+      (Printf.eprintf
+         "# ERROR: %s sweep output differs from the sequential run\n")
+      mismatches;
+    let sweeps =
+      Runner.sweep_of ~mode:"seq" o1
+      :: ((match oj with
+          | Some oj -> [ Runner.sweep_of ~mode:"fork" oj ]
+          | None -> [])
+         @
+         match od with
+         | Some od -> [ Runner.sweep_of ~mode:"domains" od ]
+         | None -> [])
+    in
+    let out =
+      Causalb_bench.Bench_out.write
+        ~quota_ms:Causalb_bench.Scaling.quota_ms ~rows ~sweeps ()
+    in
+    Printf.printf "sweep wall: j=1 %.0f ms%s%s\nwrote %s\n%!"
+      o1.report.wall_ms
+      (match oj with
+      | Some oj -> Printf.sprintf ", j=%d %.0f ms" jobs oj.report.wall_ms
+      | None -> "")
+      (match od with
+      | Some od -> Printf.sprintf ", J=%d %.0f ms" domains od.report.wall_ms
+      | None -> "")
+      out;
+    let failed =
+      o1.report.failures
+      @ (match oj with Some oj -> oj.report.failures | None -> [])
+      @ (match od with Some od -> od.report.failures | None -> [])
+    in
+    if failed <> [] then begin
+      Printf.eprintf "# FAILED experiment task(s): %s\n"
+        (String.concat ", " failed);
+      1
     end
-    else None
-  in
-  let mismatch =
-    match oj with
-    | Some oj when not (String.equal oj.stdout_text o1.stdout_text) -> true
-    | _ -> false
-  in
-  if mismatch then
-    Printf.eprintf
-      "# ERROR: -j %d sweep output differs from the sequential run\n" jobs;
-  let sweeps =
-    Runner.sweep_of o1
-    :: (match oj with Some oj -> [ Runner.sweep_of oj ] | None -> [])
-  in
-  let out =
-    Causalb_bench.Bench_out.write
-      ~quota_ms:Causalb_bench.Scaling.quota_ms ~rows ~sweeps ()
-  in
-  Printf.printf "sweep wall: j=1 %.0f ms%s\nwrote %s\n%!" o1.report.wall_ms
-    (match oj with
-    | Some oj -> Printf.sprintf ", j=%d %.0f ms" jobs oj.report.wall_ms
-    | None -> "")
-    out;
-  let failed =
-    o1.report.failures
-    @ (match oj with Some oj -> oj.report.failures | None -> [])
-  in
-  if failed <> [] then begin
-    Printf.eprintf "# FAILED experiment task(s): %s\n"
-      (String.concat ", " failed);
-    1
+    else if mismatches <> [] then 1
+    else 0
   end
-  else if mismatch then 1
-  else 0
 
 let bench_cmd =
   Cmd.v
     (Cmd.info "bench"
        ~doc:"Run the before/after hot-path benchmarks plus the timed \
-             experiment sweep and write the cumulative BENCH_PR5.json")
-    Term.(const bench_run $ jobs_arg $ seed)
+             experiment sweep (-j forks, -J domains) and write the \
+             cumulative BENCH_PR6.json")
+    Term.(const bench_run $ jobs_arg $ domains_arg $ list_arg $ seed)
 
 let main_cmd =
   let doc =

@@ -155,6 +155,13 @@ let clock t =
      [of_array] copied them again). *)
   Vc.with_component t.delivered t.id t.own_sends
 
+let next_envelope t ?(tag = "") payload =
+  t.own_sends <- t.own_sends + 1;
+  (* Stamp: delivered counts with own component = own send count.  This
+     is the classic BSS stamp — it encodes everything the sender has
+     delivered (potential causes) plus its own send sequence. *)
+  { sender = t.id; stamp = clock t; tag; payload }
+
 module Group = struct
   type 'a t = ('a member, 'a envelope) Sgroup.t
 
@@ -169,14 +176,8 @@ module Group = struct
 
   let size = Sgroup.size
 
-  let bcast t ~src ?(tag = "") payload =
-    let m = Sgroup.member t src in
-    m.own_sends <- m.own_sends + 1;
-    (* Stamp: delivered counts with own component = own send count.  This
-       is the classic BSS stamp — it encodes everything the sender has
-       delivered (potential causes) plus its own send sequence. *)
-    let stamp = clock m in
-    let e = { sender = src; stamp; tag; payload } in
+  let bcast t ~src ?tag payload =
+    let e = next_envelope (Sgroup.member t src) ?tag payload in
     Net.broadcast (Sgroup.net t) ~src e
 
   let member = Sgroup.member

@@ -1,0 +1,160 @@
+(* Binary codecs for the protocol's wire values, on the Wire primitives.
+
+   Layering note: Wire (lib/util) knows nothing about labels, deps or
+   clocks — those sit above it — so the per-type codecs live here in
+   lib/core, next to Message/Bss, and Fgroup composes them into the
+   encode-once/decode-many delivery path.
+
+   The decode side reconstructs values through the same smart
+   constructors the senders used ([Label.make], [Dep.after_all],
+   [Message.make]), so a decoded value satisfies exactly the invariants
+   a locally built one does — and a frame corrupted into violating them
+   fails in the constructor instead of poisoning an engine. *)
+
+module Wire = Causalb_util.Wire
+module Vc = Causalb_clock.Vector_clock
+module Label = Causalb_graph.Label
+module Dep = Causalb_graph.Dep
+
+type 'a enc = Wire.writer -> 'a -> unit
+
+type 'a dec = Wire.reader -> 'a
+
+(* --- payload codecs --- *)
+
+let put_str = Wire.str
+
+let get_str = Wire.r_str
+
+let put_int = Wire.int
+
+let get_int = Wire.r_int
+
+let put_unit (_ : Wire.writer) () = ()
+
+let get_unit (_ : Wire.reader) = ()
+
+(* --- vector clocks --- *)
+
+let put_clock w v =
+  let n = Vc.size v in
+  Wire.uint w n;
+  for i = 0 to n - 1 do
+    Wire.uint w (Vc.get v i)
+  done
+
+let get_clock r =
+  let n = Wire.r_uint r in
+  if n = 0 then raise (Wire.Corrupt "clock of size 0");
+  let a = Array.make n 0 in
+  for i = 0 to n - 1 do
+    a.(i) <- Wire.r_uint r
+  done;
+  Vc.of_array a
+
+(* --- labels --- *)
+
+let put_label w l =
+  Wire.uint w (Label.origin l);
+  Wire.uint w (Label.seq l);
+  match Label.display l with
+  | None -> Wire.bool_ w false
+  | Some name ->
+    Wire.bool_ w true;
+    Wire.str w name
+
+let get_label r =
+  let origin = Wire.r_uint r in
+  let seq = Wire.r_uint r in
+  let name = if Wire.r_bool r then Some (Wire.r_str r) else None in
+  Label.make ?name ~origin ~seq ()
+
+(* --- dependency predicates --- *)
+
+let put_labels w ls =
+  Wire.uint w (List.length ls);
+  List.iter (put_label w) ls
+
+let get_labels r =
+  let n = Wire.r_uint r in
+  List.init n (fun _ -> get_label r)
+
+let put_dep w = function
+  | Dep.Null -> Wire.u8 w 0
+  | Dep.After l ->
+    Wire.u8 w 1;
+    put_label w l
+  | Dep.After_all ls ->
+    Wire.u8 w 2;
+    put_labels w ls
+  | Dep.After_any ls ->
+    Wire.u8 w 3;
+    put_labels w ls
+
+(* [after_all]/[after_any] re-canonicalise (dedup + sort); senders only
+   ever put canonical deps on the wire, so this is the identity there,
+   and it repairs rather than trusts a hand-crafted frame. *)
+let get_dep r =
+  match Wire.r_u8 r with
+  | 0 -> Dep.null
+  | 1 -> Dep.after (get_label r)
+  | 2 -> Dep.after_all (get_labels r)
+  | 3 -> Dep.after_any (get_labels r)
+  | tag -> raise (Wire.Corrupt (Printf.sprintf "bad dep tag %d" tag))
+
+(* --- messages (OSend/Psync traffic) --- *)
+
+let put_message put_payload w m =
+  put_label w (Message.label m);
+  Wire.uint w (Message.sender m);
+  put_dep w (Message.dep m);
+  put_payload w (Message.payload m)
+
+let get_message get_payload r =
+  let label = get_label r in
+  let sender = Wire.r_uint r in
+  let dep = get_dep r in
+  let payload = get_payload r in
+  Message.make ~label ~sender ~dep payload
+
+(* --- BSS envelopes --- *)
+
+let put_envelope put_payload w (e : 'a Bss.envelope) =
+  Wire.uint w e.Bss.sender;
+  put_clock w e.Bss.stamp;
+  Wire.str w e.Bss.tag;
+  put_payload w e.Bss.payload
+
+let get_envelope get_payload r =
+  let sender = Wire.r_uint r in
+  let stamp = get_clock r in
+  let tag = Wire.r_str r in
+  let payload = get_payload r in
+  { Bss.sender; stamp; tag; payload }
+
+(* --- whole-frame helpers --- *)
+
+let encode pool enc v =
+  let w = Wire.writer pool in
+  enc w v;
+  Wire.finish w
+
+let decode dec frame =
+  let r = Wire.reader frame in
+  let v = dec r in
+  Wire.expect_end r;
+  v
+
+(* --- shared decoded views --- *)
+
+type 'a framed = { frame : Wire.frame; mutable view : 'a option }
+
+let framed frame = { frame; view = None }
+
+let view fr ~dec =
+  match fr.view with
+  | Some v -> v
+  | None ->
+    let v = decode dec fr.frame in
+    fr.view <- Some v;
+    v

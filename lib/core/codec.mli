@@ -1,0 +1,85 @@
+(** Binary codecs for the protocol's wire values.
+
+    {!Causalb_util.Wire} provides the primitives (pooled writers,
+    immutable frames, bounds-checked readers); this module provides the
+    codecs for the values that actually cross the simulated wire —
+    vector clocks, labels, dependency predicates, [Message.t] and
+    [Bss.envelope] — plus the {!framed} wrapper {!Fgroup} broadcasts, a
+    frame paired with a memoized decoded view so a fan-out of [n] copies
+    decodes once, not [n] times.
+
+    Every codec is a [put]/[get] pair with [get (put v) = v] (the qcheck
+    round-trip property in [test/test_wire.ml]); [get] on a truncated or
+    corrupted frame raises [Wire.Corrupt] or the violated constructor's
+    [Invalid_argument], never returns garbage. *)
+
+module Wire := Causalb_util.Wire
+
+type 'a enc = Wire.writer -> 'a -> unit
+
+type 'a dec = Wire.reader -> 'a
+
+(** {1 Payload codecs} *)
+
+val put_str : string enc
+
+val get_str : string dec
+
+val put_int : int enc
+
+val get_int : int dec
+
+val put_unit : unit enc
+
+val get_unit : unit dec
+
+(** {1 Protocol values} *)
+
+val put_clock : Causalb_clock.Vector_clock.t enc
+
+val get_clock : Causalb_clock.Vector_clock.t dec
+
+val put_label : Causalb_graph.Label.t enc
+(** Origin, sequence number, and the optional display name — the display
+    round-trips exactly, so printed delivered orders are byte-identical
+    across a codec hop. *)
+
+val get_label : Causalb_graph.Label.t dec
+
+val put_dep : Causalb_graph.Dep.t enc
+
+val get_dep : Causalb_graph.Dep.t dec
+(** Rebuilds through [Dep.after_all]/[after_any], so the decoded
+    predicate is canonical (deduped, sorted) like every locally built
+    one. *)
+
+val put_message : 'a enc -> 'a Message.t enc
+
+val get_message : 'a dec -> 'a Message.t dec
+
+val put_envelope : 'a enc -> 'a Bss.envelope enc
+
+val get_envelope : 'a dec -> 'a Bss.envelope dec
+
+(** {1 Whole frames} *)
+
+val encode : Wire.pool -> 'a enc -> 'a -> Wire.frame
+(** One pooled writer, one sealed frame. *)
+
+val decode : 'a dec -> Wire.frame -> 'a
+(** Decode a whole frame; raises [Wire.Corrupt] on trailing bytes. *)
+
+(** {1 Shared decoded views}
+
+    The encode-once/decode-many discipline: a broadcast enqueues one
+    {!framed} value to every recipient; the first receiver decodes and
+    the rest reuse the memoized view — zero per-recipient stamp
+    allocation, matching the in-memory sharing the plain groups already
+    rely on (stamps are documented read-only). *)
+
+type 'a framed = { frame : Wire.frame; mutable view : 'a option }
+
+val framed : Wire.frame -> 'a framed
+
+val view : 'a framed -> dec:'a dec -> 'a
+(** The decoded value, decoding (and memoizing) on first use. *)

@@ -1,0 +1,117 @@
+(** Framed group wrappers — causal broadcast over encoded frames.
+
+    The siblings of [Bss.Group], [Group] and [Psync] that put the
+    {!Codec} on the delivery path: the sender stamps once and encodes
+    once into an immutable frame (pooled scratch, [Wire]); [Net.bcast]
+    fans the single frame out to every recipient; recipients decode a
+    {e shared} view (first toucher decodes, the rest reuse the memo).
+    Per message: one encode + one decode.  Per recipient: a pointer.
+
+    Byte accounting is real on this path: [Net.bytes_sent] advances by
+    frame length per copy, and each member's [Metrics.wire_bytes] is
+    charged per received copy, so [Metrics.bytes_per_delivery] measures
+    the §6.1 stamp overhead on the wire.
+
+    Same-seed equivalence: [Net.bcast] makes exactly the RNG draws
+    [Net.broadcast] makes, so a framed group's delivered orders are
+    identical to the plain group's for the same seed and workload —
+    asserted in [test/test_wire.ml], which keeps the frozen
+    [lib/reference] engines as the end oracle.  The delivery engines
+    themselves ([Bss.member], [Osend.t]) are reused unchanged; only the
+    transport hop differs. *)
+
+module Wire := Causalb_util.Wire
+module B := Bss
+module O := Osend
+
+(** Framed Birman–Schiper–Stephenson broadcast (vector stamps). *)
+module Bss : sig
+  type 'a t
+
+  val create :
+    'a B.envelope Codec.framed Causalb_net.Net.t ->
+    enc:'a Codec.enc ->
+    dec:'a Codec.dec ->
+    ?on_deliver:(node:int -> time:float -> 'a B.envelope -> unit) ->
+    unit ->
+    'a t
+
+  val size : 'a t -> int
+
+  val bcast : 'a t -> src:int -> ?tag:string -> 'a -> unit
+  (** Stamp ({!B.next_envelope}), encode once, fan the frame out
+      (self copy included, as in [Bss.Group.bcast]). *)
+
+  val member : 'a t -> int -> 'a B.member
+
+  val delivered_tags : 'a t -> int -> string list
+
+  val metrics : 'a t -> int -> Causalb_stackbase.Metrics.t
+
+  val wire_bytes : 'a t -> int
+  (** Total encoded bytes received across members. *)
+end
+
+(** Framed explicit-dependency broadcast (the [Group]/[Osend] path). *)
+module Osend : sig
+  type 'a t
+
+  val create :
+    'a Message.t Codec.framed Causalb_net.Net.t ->
+    enc:'a Codec.enc ->
+    dec:'a Codec.dec ->
+    ?on_deliver:(node:int -> time:float -> 'a Message.t -> unit) ->
+    unit ->
+    'a t
+
+  val size : 'a t -> int
+
+  val osend :
+    'a t ->
+    src:int ->
+    ?name:string ->
+    dep:Causalb_graph.Dep.t ->
+    'a ->
+    Causalb_graph.Label.t
+
+  val member : 'a t -> int -> 'a O.t
+
+  val delivered_order : 'a t -> int -> Causalb_graph.Label.t list
+
+  val all_delivered_orders : 'a t -> Causalb_graph.Label.t list list
+
+  val metrics : 'a t -> int -> Causalb_stackbase.Metrics.t
+
+  val wire_bytes : 'a t -> int
+end
+
+(** Framed conversation-context broadcast (the [Psync] rule: each send
+    depends on the leaves of everything received). *)
+module Psync : sig
+  type 'a t
+
+  val create :
+    'a Message.t Codec.framed Causalb_net.Net.t ->
+    enc:'a Codec.enc ->
+    dec:'a Codec.dec ->
+    ?on_deliver:(node:int -> time:float -> 'a Message.t -> unit) ->
+    unit ->
+    'a t
+
+  val size : 'a t -> int
+
+  val send :
+    'a t -> src:int -> ?name:string -> 'a -> Causalb_graph.Label.t
+  (** Local copy processes the in-memory message (as in [Psync.send]);
+      remote copies ride one shared frame ([self = false]). *)
+
+  val member : 'a t -> int -> 'a O.t
+
+  val delivered_order : 'a t -> int -> Causalb_graph.Label.t list
+
+  val all_delivered_orders : 'a t -> Causalb_graph.Label.t list list
+
+  val metrics : 'a t -> int -> Causalb_stackbase.Metrics.t
+
+  val wire_bytes : 'a t -> int
+end

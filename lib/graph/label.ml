@@ -14,6 +14,8 @@ let name t =
   | Some s -> s
   | None -> Printf.sprintf "m%d.%d" t.origin t.seq
 
+let display t = t.display
+
 let equal a b = a.origin = b.origin && a.seq = b.seq
 
 let compare a b =

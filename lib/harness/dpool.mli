@@ -1,0 +1,52 @@
+(** Domains-based sweep runner: [Pool]'s in-process sibling.
+
+    [run ~domains tasks] executes the tasks on [domains] worker domains
+    (OCaml 5; a dynamically-claimed shared work queue keeps skewed task
+    costs from idling domains) and returns a {!Pool.report} with results
+    in task-list order — the same record, the same
+    {!Pool.seed_for}-derived per-task seeds, so everything downstream of
+    [Pool.run] (assembly, artifacts, byte-identity checks) is oblivious
+    to which pool ran the sweep.
+
+    Capture: worker domains share one fd table, so output is captured
+    through {!Causalb_util.Printer}'s domain-local sink instead of dup2
+    — which is why deterministic experiment parts print through
+    [Printer].  Tasks marked [Sequential] (timing parts with raw prints
+    and wall-clock sensitivity) instead run via {!Pool.run_one}'s fd
+    capture in the main domain before any worker domain exists.
+
+    On OCaml 4.14 ([available = false]) or [domains <= 1], tasks run
+    sequentially in the calling domain under the identical capture
+    discipline: same results, same bytes, no speedup.
+
+    Interaction with the fork pool: the OCaml 5 runtime refuses
+    [Unix.fork] once any domain has been spawned, so after the first
+    parallel [run] here, {!Pool.run} executes in-process (it checks
+    {!Pool.fork_unavailable}).  A process that wants both sweeps must
+    fork first, spawn domains second. *)
+
+type mode =
+  | Parallel
+      (** deterministic part: prints through [Printer], any domain *)
+  | Sequential
+      (** timing part: raw prints, fd capture, main domain, runs before
+          worker domains spawn *)
+
+type task = { name : string; mode : mode; run : seed:int -> unit }
+
+val task : ?mode:mode -> name:string -> (seed:int -> unit) -> task
+(** [mode] defaults to [Parallel]. *)
+
+val available : bool
+(** Whether this build has real worker domains (OCaml >= 5.0). *)
+
+val recommended_domains : unit -> int
+(** [Domain.recommended_domain_count ()] on OCaml 5, [1] on 4.14. *)
+
+val run_one_buffered : base_seed:int -> task -> Pool.result
+(** One task under sink capture in the calling domain — exposed for the
+    byte-identity tests. *)
+
+val run : ?domains:int -> ?base_seed:int -> task list -> Pool.report
+(** Never raises on task failure — inspect [failures].  [report.jobs]
+    echoes [domains]. *)

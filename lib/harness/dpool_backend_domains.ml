@@ -1,0 +1,40 @@
+(* Dpool backend for OCaml 5: real worker domains.
+
+   The work queue is an atomic next-index counter over the thunk array —
+   the same static-order/dynamic-claim split the fork pool avoids (it
+   shards statically so a dead worker's tasks are identifiable), but
+   here workers cannot die independently of the process, and dynamic
+   claiming keeps all domains busy when task costs are skewed.
+
+   Each slot of [results] is written by exactly one domain and read by
+   the caller only after every [Domain.join], which establishes the
+   happens-before edge — no per-slot synchronisation needed.  Thunks
+   must not raise: [Dpool] wraps each task so failures come back as
+   values (a raise here would surface at [Domain.join] and tear down the
+   whole sweep). *)
+
+let available = true
+
+let recommended () = Domain.recommended_domain_count ()
+
+let map ~domains (fs : (unit -> 'a) array) : 'a array =
+  let n = Array.length fs in
+  let domains = max 1 (min domains n) in
+  if domains = 1 then Array.map (fun f -> f ()) fs
+  else begin
+    let next = Atomic.make 0 in
+    let results = Array.make n None in
+    let worker () =
+      let continue_ = ref true in
+      while !continue_ do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n then continue_ := false
+        else results.(i) <- Some (fs.(i) ())
+      done
+    in
+    (* The calling domain is worker number [domains]: spawn one fewer. *)
+    let spawned = Array.init (domains - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join spawned;
+    Array.map (function Some r -> r | None -> assert false) results
+  end

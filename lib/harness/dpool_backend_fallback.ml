@@ -1,0 +1,13 @@
+(* Dpool backend for OCaml 4.14, where [Domain]/[Mutex]/[Condition] are
+   not in the stdlib (they need the threads library, which this repo
+   does not depend on).  [map] runs the thunks sequentially in the
+   calling "domain" — same capture discipline, same task order, same
+   bytes — so [causalb exp -J n] works everywhere and merely doesn't
+   speed up here. *)
+
+let available = false
+
+let recommended () = 1
+
+let map ~domains:_ (fs : (unit -> 'a) array) : 'a array =
+  Array.map (fun f -> f ()) fs

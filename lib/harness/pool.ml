@@ -44,6 +44,13 @@ type report = {
 
 let task ~name run = { name; run }
 
+(* The OCaml 5 runtime refuses [Unix.fork] for the rest of the process
+   once any domain has been spawned — even after every domain is joined.
+   [Dpool] flips this flag when it spawns workers, so a later [run
+   ~jobs:n] degrades to the in-process path (same results, same bytes,
+   no parallelism) instead of crashing the sweep. *)
+let fork_unavailable = ref false
+
 (* FNV-1a over the task name, folded into the base seed.  Stable across
    OCaml versions and process boundaries (pure int arithmetic on 63-bit
    words), unlike [Hashtbl.hash] which we must not depend on here. *)
@@ -305,9 +312,16 @@ let run_parallel ~jobs ~base_seed tasks =
         in
         List.iteri
           (fun k (i, (t : task)) ->
+            (* Quote the task name through the Json escaper, not [%S]:
+               these strings land inside the JSON-line stream and the
+               artifact, where a name containing a newline (the line
+               delimiter) or raw UTF-8 must stay one valid JSON token.
+               [%S] would also mangle non-ASCII bytes to decimal
+               escapes; Json passes them through. *)
+            let quoted = Json.to_string (Json.Str t.name) in
             let detail =
-              if k = 0 then Printf.sprintf "%s while running %S" why t.name
-              else Printf.sprintf "%s before %S started" why t.name
+              if k = 0 then Printf.sprintf "%s while running %s" why quoted
+              else Printf.sprintf "%s before %s started" why quoted
             in
             results.(i) <-
               Some
@@ -331,7 +345,7 @@ let run ?(jobs = 1) ?(base_seed = 42) tasks =
   let t0 = Unix.gettimeofday () in
   let arr = Array.of_list tasks in
   let results =
-    if jobs <= 1 || Array.length arr <= 1 then
+    if jobs <= 1 || Array.length arr <= 1 || !fork_unavailable then
       List.map (run_one ~base_seed) tasks
     else run_parallel ~jobs ~base_seed arr
   in

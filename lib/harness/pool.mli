@@ -56,6 +56,20 @@ val json_of_result : result -> Causalb_util.Json.t
 
 val result_of_json : Causalb_util.Json.t -> result
 
+val fork_unavailable : bool ref
+(** The OCaml 5 runtime refuses [Unix.fork] once any domain has ever
+    been spawned, even after they are all joined.  {!Dpool} sets this
+    when it spawns worker domains; with it set, [run ~jobs:n] executes
+    in-process (identical results and bytes, no fork parallelism)
+    rather than crashing.  Run fork sweeps before domains sweeps when a
+    process needs both. *)
+
+val run_one : base_seed:int -> task -> result
+(** Execute a single task in the calling process under the fd-level
+    capture discipline — the unit [run ~jobs:1] iterates, exported so
+    the domains pool ({!Dpool}) can run its sequential (timing) tasks
+    through the exact same capture path. *)
+
 val run : ?jobs:int -> ?base_seed:int -> task list -> report
 (** Execute every task; never raises on task failure — inspect
     [failures].  A worker that dies (signal, [exit], crash) yields

@@ -6,6 +6,7 @@ type t = {
   mutable delivered : int;
   mutable forced_waits : int;
   mutable buffered : int;
+  mutable wire_bytes : int;
   latency : Stats.t;
 }
 
@@ -16,6 +17,7 @@ let create ?(name = "layer") () =
     delivered = 0;
     forced_waits = 0;
     buffered = 0;
+    wire_bytes = 0;
     latency = Stats.create ();
   }
 
@@ -31,14 +33,21 @@ let on_buffer t =
 
 let on_unbuffer t = t.buffered <- t.buffered - 1
 
+let on_wire t n = t.wire_bytes <- t.wire_bytes + n
+
+let bytes_per_delivery t =
+  if t.delivered = 0 then Float.nan
+  else float_of_int t.wire_bytes /. float_of_int t.delivered
+
 let snapshot ~name ?(received = 0) ?(delivered = 0) ?(forced_waits = 0)
-    ?(buffered = 0) ?latency () =
+    ?(buffered = 0) ?(wire_bytes = 0) ?latency () =
   {
     name;
     received;
     delivered;
     forced_waits;
     buffered;
+    wire_bytes;
     latency = (match latency with Some s -> s | None -> Stats.create ());
   }
 
@@ -58,6 +67,7 @@ let combine ?latency ~name parts =
     delivered = sum (fun p -> p.delivered);
     forced_waits = sum (fun p -> p.forced_waits);
     buffered = sum (fun p -> p.buffered);
+    wire_bytes = sum (fun p -> p.wire_bytes);
     latency;
   }
 

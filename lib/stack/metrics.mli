@@ -24,6 +24,10 @@ type t = {
       (** arrivals that could not be released immediately and had to
           buffer — the T6 counter, uniform across engines *)
   mutable buffered : int;  (** currently held by the layer *)
+  mutable wire_bytes : int;
+      (** encoded bytes this layer moved over the wire — fed by the
+          framed delivery path ({!Causalb_core.Fgroup}); zero for
+          in-memory groups, which never serialize *)
   latency : Stats.t;
       (** per-message time from pipeline entry to release by this layer *)
 }
@@ -41,12 +45,21 @@ val on_buffer : t -> unit
 val on_unbuffer : t -> unit
 (** Lower the buffered gauge when a parked message is released. *)
 
+val on_wire : t -> int -> unit
+(** Charge [n] encoded bytes to the layer (one frame length per
+    delivered copy on the framed path). *)
+
+val bytes_per_delivery : t -> float
+(** [wire_bytes / delivered] — the metadata-cost-per-delivery figure of
+    the scaling bench; NaN before the first delivery. *)
+
 val snapshot :
   name:string ->
   ?received:int ->
   ?delivered:int ->
   ?forced_waits:int ->
   ?buffered:int ->
+  ?wire_bytes:int ->
   ?latency:Stats.t ->
   unit ->
   t

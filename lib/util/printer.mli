@@ -1,0 +1,38 @@
+(** Redirectable output for deterministic experiment parts.
+
+    The fork pool captures a part's output at the file-descriptor level,
+    which works because each worker is a whole process.  Worker {e
+    domains} share one fd table, so the domains pool cannot dup2 its way
+    to per-task capture — instead, every print site of a deterministic
+    experiment part goes through this module, and the pool points the
+    current domain's sink at a buffer for the duration of a task.
+
+    With no sink installed (the default, and always the case for direct
+    CLI runs and the fork pool's fd-captured workers), output goes
+    straight to stdout — so the bytes a part produces are identical
+    whether they were captured by dup2, by a sink, or not at all.
+
+    The sink is domain-local on OCaml 5 ([Domain.DLS]) and a plain ref on
+    4.14, via the printer_sink copy rule — same observable behaviour
+    single-domain. *)
+
+val string : string -> unit
+(** [string s] writes [s] to the current domain's sink, or to stdout. *)
+
+val line : string -> unit
+(** [string s] then a newline. *)
+
+val newline : unit -> unit
+
+val printf : ('a, unit, string, unit) format4 -> 'a
+
+val redirected : unit -> bool
+(** Whether this domain currently has a sink installed. *)
+
+val capture : (unit -> 'a) -> string * 'a
+(** [capture f] runs [f] with this domain's sink pointed at a fresh
+    buffer and returns (everything [f] printed through this module,
+    result of [f]).  Restores the previous sink on exit, including on
+    exceptions.  Raw [print_string]/[Printf.printf] calls inside [f]
+    escape the capture — which is exactly how the byte-identity tests
+    catch an unmigrated print site in a deterministic part. *)

@@ -1,0 +1,9 @@
+(* Pre-5.0 sink: a plain ref.  There is exactly one domain, so a process
+   global carries the same meaning Domain.DLS does on 5.x.  Selected into
+   printer_sink.ml by a dune rule when ocaml_version < 5.0. *)
+
+let sink : Buffer.t option ref = ref None
+
+let get () = !sink
+
+let set v = sink := v

@@ -87,9 +87,11 @@ let render_footer t =
   add_line buf w '-';
   Buffer.contents buf
 
+(* Through Printer, so a table printed inside a worker domain lands in
+   that task's capture buffer rather than on the shared stdout. *)
 let print t =
-  print_string (render t);
-  print_newline ()
+  Printer.string (render t);
+  Printer.newline ()
 
 let escape_csv cell =
   if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then

@@ -10,7 +10,9 @@
    naming the task it was running and the tasks it never started. *)
 
 module Pool = Causalb_harness.Pool
+module Dpool = Causalb_harness.Dpool
 module Json = Causalb_util.Json
+module Printer = Causalb_util.Printer
 module Registry = Causalb_bench.Registry
 module Runner = Causalb_bench.Runner
 
@@ -137,6 +139,153 @@ let test_worker_crash_names_tasks () =
     (contains (msg "orphaned") "before \"orphaned\" started");
   check "survivor delivered" true (Pool.ok (find "survivor"))
 
+(* Task names chosen to break line-oriented framing and naive quoting:
+   the JSON-line delimiter itself, a quote+backslash, and raw UTF-8.
+   Results must cross the worker pipe intact, and a crashed worker's
+   attribution messages must embed the name as one valid JSON token. *)
+let evil_names =
+  [ "new\nline"; "quote\"back\\slash"; "caf\xc3\xa9 \xe2\x80\x94 utf8" ]
+
+let test_evil_names_roundtrip () =
+  let tasks () = List.map noisy_task evil_names in
+  let r1 = Pool.run ~jobs:1 ~base_seed:9 (tasks ()) in
+  let r3 = Pool.run ~jobs:3 ~base_seed:9 (tasks ()) in
+  check "no failures" true (r1.Pool.failures = [] && r3.Pool.failures = []);
+  check "names intact" true
+    (List.map (fun x -> x.Pool.name) r3.Pool.results = evil_names);
+  check_str "JSON byte-identical -j3 vs -j1"
+    (encode (strip_walls r1))
+    (encode (strip_walls r3))
+
+let test_evil_name_crash_attribution () =
+  (* worker 0 owns tasks 0 and 2 at jobs = 2: it dies inside the
+     newline-named task, orphaning the utf8-named one *)
+  let dying = List.nth evil_names 0 in
+  let orphan = List.nth evil_names 2 in
+  let tasks =
+    [
+      Pool.task ~name:dying (fun ~seed:_ -> Unix._exit 9);
+      noisy_task "survivor";
+      noisy_task orphan;
+    ]
+  in
+  let r = Pool.run ~jobs:2 ~base_seed:5 tasks in
+  let contains hay needle =
+    let lh = String.length hay and ln = String.length needle in
+    let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+    go 0
+  in
+  let msg n =
+    match
+      (List.find (fun x -> x.Pool.name = n) r.Pool.results).Pool.status
+    with
+    | Pool.Failed m -> m
+    | Pool.Done -> ""
+  in
+  (* the embedded name is the Json token: newline escaped, utf8 raw *)
+  check "dying name json-escaped" true
+    (contains (msg dying) (Json.to_string (Json.Str dying)));
+  check "attribution has no raw newline" true
+    (not (String.contains (msg dying) '\n'));
+  check "orphan name kept as utf8" true
+    (contains (msg orphan) (Json.to_string (Json.Str orphan)));
+  (* and the whole report still JSON-roundtrips *)
+  List.iter
+    (fun res ->
+      let res' =
+        Pool.result_of_json
+          (Json.of_string (Json.to_string (Pool.json_of_result res)))
+      in
+      check "result roundtrips" true (res = res'))
+    r.Pool.results
+
+(* --- the domains pool --- *)
+
+(* Dpool's parallel tasks print through [Printer] (sink capture); with no
+   sink installed Printer writes to stdout, so the same task under the
+   fork pool's fd capture produces the same bytes — which is what makes
+   the cross-pool byte comparison below meaningful. *)
+let printer_task name =
+  Dpool.task ~name (fun ~seed ->
+      Printer.printf "%s computed %d\n" name (seed * 3);
+      Printer.string (String.concat "," (List.init 5 string_of_int));
+      Printer.newline ())
+
+let pool_printer_task name =
+  Pool.task ~name (fun ~seed ->
+      Printer.printf "%s computed %d\n" name (seed * 3);
+      Printer.string (String.concat "," (List.init 5 string_of_int));
+      Printer.newline ())
+
+(* stderr is not part of the Printer contract, so the fork-pool task
+   above skips it too: both pools capture exactly the Printer bytes. *)
+
+let test_dpool_matches_pool () =
+  let rp = Pool.run ~jobs:1 ~base_seed:7 (List.map pool_printer_task task_names) in
+  let rd1 = Dpool.run ~domains:1 ~base_seed:7 (List.map printer_task task_names) in
+  let rd3 = Dpool.run ~domains:3 ~base_seed:7 (List.map printer_task task_names) in
+  check "no failures" true
+    (rp.Pool.failures = [] && rd1.Pool.failures = [] && rd3.Pool.failures = []);
+  check_str "JSON byte-identical -J1 vs fork -j1"
+    (encode (strip_walls rp))
+    (encode (strip_walls rd1));
+  check_str "JSON byte-identical -J3 vs -J1"
+    (encode (strip_walls rd1))
+    (encode (strip_walls rd3))
+
+let test_dpool_failure_isolated () =
+  let tasks =
+    [
+      printer_task "fine";
+      Dpool.task ~name:"boom" (fun ~seed:_ -> failwith "deliberate");
+      printer_task "also-fine";
+    ]
+  in
+  let r = Dpool.run ~domains:2 ~base_seed:5 tasks in
+  check "failure recorded" true (r.Pool.failures = [ "boom" ]);
+  check_int "all three reported" 3 (List.length r.Pool.results);
+  check "neighbours unaffected" true
+    (Pool.ok (List.nth r.Pool.results 0) && Pool.ok (List.nth r.Pool.results 2))
+
+let test_dpool_failed_task_keeps_output () =
+  let t =
+    Dpool.task ~name:"partial" (fun ~seed:_ ->
+        Printer.line "printed before the crash";
+        failwith "after printing")
+  in
+  let r = Dpool.run_one_buffered ~base_seed:1 t in
+  check "failed" true (not (Pool.ok r));
+  check_str "output survives the raise" "printed before the crash\n"
+    r.Pool.output
+
+let test_dpool_sequential_mode () =
+  (* Sequential tasks go through Pool.run_one's fd capture, so raw
+     prints are captured for them (and only them) *)
+  let tasks =
+    [
+      printer_task "par";
+      Dpool.task ~mode:Dpool.Sequential ~name:"timing" (fun ~seed:_ ->
+          Printf.printf "raw print from a timing task\n");
+    ]
+  in
+  let r = Dpool.run ~domains:2 ~base_seed:3 tasks in
+  check "no failures" true (r.Pool.failures = []);
+  check "order is task order" true
+    (List.map (fun x -> x.Pool.name) r.Pool.results = [ "par"; "timing" ]);
+  let timing = List.nth r.Pool.results 1 in
+  check_str "fd capture caught the raw print"
+    "raw print from a timing task\n" timing.Pool.output
+
+let test_runner_domains_byte_identical () =
+  let exps = List.filter_map Registry.find [ "T3"; "A3"; "T5" ] in
+  let o1 = Runner.run ~jobs:1 ~base_seed:42 exps in
+  let od = Runner.run_domains ~domains:3 ~base_seed:42 exps in
+  check "no failures" true
+    (o1.Runner.report.Pool.failures = []
+    && od.Runner.report.Pool.failures = []);
+  check_str "sweep bytes identical -J3 vs -j1" o1.Runner.stdout_text
+    od.Runner.stdout_text
+
 (* --- the runner on the real registry --- *)
 
 let test_runner_sweep_byte_identical () =
@@ -206,11 +355,31 @@ let () =
             test_task_exception_is_isolated;
           Alcotest.test_case "worker crash names tasks" `Quick
             test_worker_crash_names_tasks;
+          Alcotest.test_case "evil names roundtrip" `Quick
+            test_evil_names_roundtrip;
+          Alcotest.test_case "evil name crash attribution" `Quick
+            test_evil_name_crash_attribution;
         ] );
       ( "runner",
         [
           Alcotest.test_case "sweep bytes j4 = j1" `Quick
             test_runner_sweep_byte_identical;
           Alcotest.test_case "T1 split parts" `Quick test_t1_parts_concatenate;
+        ] );
+      (* Last on purpose: spawning a worker domain makes Unix.fork
+         unavailable for the rest of the process (OCaml 5), so every
+         real-fork test above must run before the first Dpool spawn. *)
+      ( "dpool",
+        [
+          Alcotest.test_case "J JSON = fork j1 JSON" `Quick
+            test_dpool_matches_pool;
+          Alcotest.test_case "failure isolated" `Quick
+            test_dpool_failure_isolated;
+          Alcotest.test_case "failed task keeps output" `Quick
+            test_dpool_failed_task_keeps_output;
+          Alcotest.test_case "sequential mode fd capture" `Quick
+            test_dpool_sequential_mode;
+          Alcotest.test_case "runner sweep bytes -J3 = -j1" `Quick
+            test_runner_domains_byte_identical;
         ] );
     ]

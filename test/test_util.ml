@@ -1,6 +1,8 @@
-(* Unit tests for the utility substrate: heap, rng, stats, table. *)
+(* Unit tests for the utility substrate: heap, fqueue, rng, stats,
+   table. *)
 
 module Heap = Causalb_util.Heap
+module Fqueue = Causalb_util.Fqueue
 module Rng = Causalb_util.Rng
 module Stats = Causalb_util.Stats
 module Table = Causalb_util.Table
@@ -68,6 +70,113 @@ let test_heap_large () =
   List.iter (Heap.push h) values;
   let out = Heap.drain h in
   check "sorted output" true (out = List.sort Int.compare values)
+
+(* Duplicate priorities with distinguishable payloads: every payload
+   must survive, grouped by ascending priority — the event queue relies
+   on no element being lost or duplicated when keys tie. *)
+let test_heap_equal_keys_payloads () =
+  let h = Heap.create ~cmp:(fun (a, _) (b, _) -> Int.compare a b) () in
+  let items = List.init 30 (fun i -> (i mod 3, i)) in
+  List.iter (Heap.push h) items;
+  let out = Heap.drain h in
+  check_int "all kept" 30 (List.length out);
+  let prios = List.map fst out in
+  check "priorities ascending" true (prios = List.sort Int.compare prios);
+  Alcotest.(check (list int)) "payload multiset preserved"
+    (List.sort Int.compare (List.map snd items))
+    (List.sort Int.compare (List.map snd out))
+
+(* Interleaved push/pop straddling the internal growth boundary: start
+   from a tiny capacity hint so every doubling happens mid-test, and
+   keep a sorted-list model alongside. *)
+let test_heap_growth_boundary () =
+  let h = Heap.create ~capacity:1 ~cmp:Int.compare () in
+  let model = ref [] in
+  let push v =
+    Heap.push h v;
+    model := List.sort Int.compare (v :: !model)
+  in
+  let pop () =
+    let got = Heap.pop h in
+    let want = match !model with [] -> None | x :: rest -> model := rest; Some x in
+    check "pop matches model" true (got = want)
+  in
+  (* fill across 1 -> 2 -> 4 -> 8 -> ... doublings, popping at each
+     power-of-two length so push and pop both cross the boundary *)
+  for i = 0 to 129 do
+    push ((i * 37) mod 101);
+    let len = Heap.length h in
+    if len land (len - 1) = 0 then pop ()
+  done;
+  while not (Heap.is_empty h) do
+    pop ()
+  done;
+  check "model drained too" true (!model = []);
+  check "pop after empty" true (Heap.pop h = None)
+
+(* --- Fqueue --- *)
+
+let test_fqueue_empty () =
+  let q = Fqueue.create () in
+  check "empty" true (Fqueue.is_empty q);
+  check_int "length" 0 (Fqueue.length q);
+  check "peek none" true (Fqueue.peek q = None);
+  check "pop none" true (Fqueue.pop q = None)
+
+let test_fqueue_fifo () =
+  let q = Fqueue.create () in
+  List.iter (Fqueue.push q) [ 1; 2; 3 ];
+  check "peek head" true (Fqueue.peek q = Some 1);
+  Alcotest.(check (list int)) "to_list order" [ 1; 2; 3 ] (Fqueue.to_list q);
+  check_int "to_list non-destructive" 3 (Fqueue.length q);
+  check "pops in order" true
+    (Fqueue.pop q = Some 1 && Fqueue.pop q = Some 2 && Fqueue.pop q = Some 3);
+  check "then empty" true (Fqueue.pop q = None)
+
+(* Interleaved push/pop with repeated full drains: a queue emptied and
+   refilled must not resurrect old elements or reorder new ones — the
+   wakeup buckets are emptied and reused exactly like this. *)
+let test_fqueue_interleaved () =
+  let q = Fqueue.create () in
+  let model = Queue.create () in
+  let push v =
+    Fqueue.push q v;
+    Queue.push v model
+  in
+  let pop () =
+    let got = Fqueue.pop q in
+    let want = Queue.take_opt model in
+    check "pop matches model" true (got = want)
+  in
+  for round = 0 to 5 do
+    for i = 0 to (10 * round) + 3 do
+      push ((round * 100) + i);
+      if i mod 3 = 0 then pop ()
+    done;
+    (* full drain at the round boundary *)
+    while not (Fqueue.is_empty q) do
+      pop ()
+    done;
+    check "model empty too" true (Queue.is_empty model);
+    check "pop on emptied queue" true (Fqueue.pop q = None)
+  done
+
+let test_fqueue_traversals () =
+  let q = Fqueue.create () in
+  List.iter (Fqueue.push q) [ 10; 20; 30 ];
+  let seen = ref [] in
+  Fqueue.iter (fun v -> seen := v :: !seen) q;
+  Alcotest.(check (list int)) "iter in order" [ 10; 20; 30 ] (List.rev !seen);
+  check_int "fold sums" 60 (Fqueue.fold ( + ) 0 q);
+  check_int "still full" 3 (Fqueue.length q);
+  let drained = ref [] in
+  Fqueue.drain (fun v -> drained := v :: !drained) q;
+  Alcotest.(check (list int)) "drain in order" [ 10; 20; 30 ]
+    (List.rev !drained);
+  check "drain empties" true (Fqueue.is_empty q);
+  Fqueue.push q 1;
+  Fqueue.clear q;
+  check "clear empties" true (Fqueue.is_empty q)
 
 (* --- Rng --- *)
 
@@ -314,6 +423,18 @@ let () =
           Alcotest.test_case "custom cmp" `Quick test_heap_custom_cmp;
           Alcotest.test_case "clear/to_list" `Quick test_heap_clear_and_to_list;
           Alcotest.test_case "large random" `Quick test_heap_large;
+          Alcotest.test_case "equal keys keep payloads" `Quick
+            test_heap_equal_keys_payloads;
+          Alcotest.test_case "growth boundary" `Quick
+            test_heap_growth_boundary;
+        ] );
+      ( "fqueue",
+        [
+          Alcotest.test_case "empty" `Quick test_fqueue_empty;
+          Alcotest.test_case "fifo" `Quick test_fqueue_fifo;
+          Alcotest.test_case "interleaved drains" `Quick
+            test_fqueue_interleaved;
+          Alcotest.test_case "traversals" `Quick test_fqueue_traversals;
         ] );
       ( "rng",
         [

@@ -1,0 +1,439 @@
+(* Tests for the binary wire codec and the framed delivery path.
+
+   Three layers of assurance, mirroring the module layering:
+
+   1. Wire primitives: qcheck round-trips (decode . encode = id) for
+      varints, zigzag, strings (arbitrary bytes), bools; every strict
+      prefix of a valid frame raises [Corrupt] — the decoder never
+      returns garbage for truncated input.
+
+   2. Codec: round-trips for labels (display name preserved exactly),
+      deps (canonical after decode), clocks, messages, envelopes; a
+      codec hop in front of the indexed BSS engine changes nothing
+      against the frozen seed oracle in [Causalb_reference].
+
+   3. Fgroup: a framed group run is envelope-for-envelope identical to
+      the plain group run for the same seed and workload — encode-once/
+      decode-many is an optimisation, not a semantics change — and the
+      byte accounting (Metrics.wire_bytes, Net.bytes_sent) moves by real
+      frame lengths. *)
+
+module Wire = Causalb_util.Wire
+module Label = Causalb_graph.Label
+module Dep = Causalb_graph.Dep
+module Vc = Causalb_clock.Vector_clock
+module Engine = Causalb_sim.Engine
+module Latency = Causalb_sim.Latency
+module Net = Causalb_net.Net
+module Message = Causalb_core.Message
+module Codec = Causalb_core.Codec
+module Bss = Causalb_core.Bss
+module Group = Causalb_core.Group
+module Psync = Causalb_core.Psync
+module Fgroup = Causalb_core.Fgroup
+module Rbss = Causalb_reference.Bss
+module Metrics = Causalb_stackbase.Metrics
+
+let test ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let check = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let pool = Wire.pool ()
+
+let roundtrip enc dec v = Codec.decode dec (Codec.encode pool enc v)
+
+(* --- 1. primitives --- *)
+
+let prop_uint_roundtrip =
+  test "wire: uint round-trip" QCheck2.Gen.(0 -- max_int) (fun n ->
+      roundtrip Wire.uint Wire.r_uint n = n)
+
+let prop_int_roundtrip =
+  test "wire: zigzag int round-trip" QCheck2.Gen.int (fun n ->
+      roundtrip Wire.int Wire.r_int n = n)
+
+let prop_str_roundtrip =
+  test "wire: string round-trip (raw bytes)"
+    QCheck2.Gen.(string_size ~gen:(char_range '\000' '\255') (0 -- 64))
+    (fun s -> roundtrip Wire.str Wire.r_str s = s)
+
+let test_extremes () =
+  List.iter
+    (fun n -> check_int "zigzag extreme" n (roundtrip Wire.int Wire.r_int n))
+    [ max_int; min_int; 0; -1; 1; min_int + 1; max_int - 1 ];
+  check_int "uint max" max_int (roundtrip Wire.uint Wire.r_uint max_int);
+  (* small magnitudes of either sign stay in one byte *)
+  let size enc v = Wire.length (Codec.encode pool enc v) in
+  check_int "zigzag -64 is 1 byte" 1 (size Wire.int (-64));
+  check_int "zigzag 63 is 1 byte" 1 (size Wire.int 63);
+  check_int "uint 127 is 1 byte" 1 (size Wire.uint 127);
+  check "uint rejects negatives" true
+    (try
+       ignore (Codec.encode pool Wire.uint (-1));
+       false
+     with Invalid_argument _ -> true);
+  check "u8 rejects 256" true
+    (try
+       ignore (Codec.encode pool (fun w v -> Wire.u8 w v) 256);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- generators for protocol values --- *)
+
+let label_gen =
+  let open QCheck2.Gen in
+  int_range 0 7 >>= fun origin ->
+  int_range 0 1000 >>= fun seq ->
+  oneof
+    [
+      return (Label.make ~origin ~seq ());
+      ( string_size ~gen:printable (1 -- 8) >|= fun name ->
+        Label.make ~name ~origin ~seq () );
+    ]
+
+let dep_gen =
+  let open QCheck2.Gen in
+  oneof
+    [
+      return Dep.null;
+      (label_gen >|= Dep.after);
+      (list_size (1 -- 4) label_gen >|= Dep.after_all);
+      (list_size (1 -- 4) label_gen >|= Dep.after_any);
+    ]
+
+let clock_gen =
+  let open QCheck2.Gen in
+  int_range 1 8 >>= fun n ->
+  array_size (return n) (int_range 0 1000) >|= Vc.of_array
+
+let message_gen =
+  let open QCheck2.Gen in
+  label_gen >>= fun label ->
+  int_range 0 7 >>= fun sender ->
+  dep_gen >>= fun dep ->
+  string_size ~gen:(char_range '\000' '\255') (0 -- 16) >|= fun payload ->
+  Message.make ~label ~sender ~dep payload
+
+let envelope_gen =
+  let open QCheck2.Gen in
+  int_range 0 7 >>= fun sender ->
+  clock_gen >>= fun stamp ->
+  string_size ~gen:printable (0 -- 8) >>= fun tag ->
+  string_size ~gen:printable (0 -- 16) >|= fun payload ->
+  { Bss.sender; stamp; tag; payload }
+
+(* Full equality including the display-name structure the codec must
+   preserve (Label.equal ignores it on purpose). *)
+let label_eq a b =
+  Label.equal a b && Label.display a = Label.display b
+
+let dep_eq a b =
+  match (a, b) with
+  | Dep.Null, Dep.Null -> true
+  | Dep.After x, Dep.After y -> label_eq x y
+  | Dep.After_all xs, Dep.After_all ys | Dep.After_any xs, Dep.After_any ys ->
+    List.length xs = List.length ys && List.for_all2 label_eq xs ys
+  | _ -> false
+
+(* --- 2. codec round-trips --- *)
+
+let prop_label_roundtrip =
+  test "codec: label round-trip (display preserved)" label_gen (fun l ->
+      label_eq l (roundtrip Codec.put_label Codec.get_label l))
+
+let prop_dep_roundtrip =
+  test "codec: dep round-trip" dep_gen (fun d ->
+      dep_eq d (roundtrip Codec.put_dep Codec.get_dep d))
+
+let prop_clock_roundtrip =
+  test "codec: clock round-trip" clock_gen (fun v ->
+      Vc.equal v (roundtrip Codec.put_clock Codec.get_clock v))
+
+let prop_message_roundtrip =
+  test "codec: message round-trip" message_gen (fun m ->
+      let m' =
+        roundtrip (Codec.put_message Codec.put_str)
+          (Codec.get_message Codec.get_str)
+          m
+      in
+      label_eq (Message.label m) (Message.label m')
+      && Message.sender m = Message.sender m'
+      && dep_eq (Message.dep m) (Message.dep m')
+      && Message.payload m = Message.payload m')
+
+let prop_envelope_roundtrip =
+  test "codec: envelope round-trip" envelope_gen (fun e ->
+      let e' =
+        roundtrip
+          (Codec.put_envelope Codec.put_str)
+          (Codec.get_envelope Codec.get_str)
+          e
+      in
+      e'.Bss.sender = e.Bss.sender
+      && Vc.equal e'.Bss.stamp e.Bss.stamp
+      && e'.Bss.tag = e.Bss.tag
+      && e'.Bss.payload = e.Bss.payload)
+
+(* --- truncation hardening --- *)
+
+(* A decoder over a strict prefix must fail cleanly: it needed every
+   byte of the full frame, so some read hits the cut and raises
+   [Corrupt] — never a silent wrong value, never an unchecked crash. *)
+let prop_truncated_fails =
+  test "codec: every strict prefix of a frame raises Corrupt"
+    QCheck2.Gen.(pair message_gen (0 -- 1000))
+    (fun (m, cut) ->
+      let frame = Codec.encode pool (Codec.put_message Codec.put_str) m in
+      let n = Wire.length frame in
+      QCheck2.assume (n > 0);
+      let cut = cut mod n in
+      match
+        Codec.decode (Codec.get_message Codec.get_str) (Wire.prefix frame cut)
+      with
+      | _ -> false
+      | exception Wire.Corrupt _ -> true)
+
+let test_trailing_bytes () =
+  let frame = Codec.encode pool Wire.uint 7 in
+  let padded = Wire.of_string (Wire.to_string frame ^ "\000") in
+  check "trailing bytes raise Corrupt" true
+    (match Codec.decode Wire.r_uint padded with
+    | _ -> false
+    | exception Wire.Corrupt _ -> true);
+  check "bad dep tag raises Corrupt" true
+    (match Codec.decode Codec.get_dep (Wire.of_string "\009") with
+    | _ -> false
+    | exception Wire.Corrupt _ -> true);
+  check "clock of size 0 raises Corrupt" true
+    (match Codec.decode Codec.get_clock (Wire.of_string "\000") with
+    | _ -> false
+    | exception Wire.Corrupt _ -> true)
+
+(* --- shared views decode once --- *)
+
+let test_view_memoized () =
+  let e =
+    {
+      Bss.sender = 1;
+      stamp = Vc.of_array [| 1; 2; 3 |];
+      tag = "t";
+      payload = "p";
+    }
+  in
+  let fr =
+    Codec.framed (Codec.encode pool (Codec.put_envelope Codec.put_str) e)
+  in
+  let dec = Codec.get_envelope Codec.get_str in
+  let v1 = Codec.view fr ~dec in
+  let v2 = Codec.view fr ~dec in
+  check "second view is the first (memoized)" true (v1 == v2);
+  check "view decodes the envelope" true (Vc.equal v1.Bss.stamp e.Bss.stamp)
+
+(* --- 3. codec hop vs the frozen seed oracle --- *)
+
+(* Same arrival sequence: raw envelopes into the reference engine,
+   encode/decode-hopped envelopes into the indexed engine.  Any codec
+   bug that perturbs a stamp or tag shows up as a delivered-order
+   mismatch against the oracle. *)
+let bss_codec_oracle_gen =
+  let open QCheck2.Gen in
+  int_range 2 4 >>= fun nodes ->
+  list_size (0 -- 24)
+    (triple (int_range 0 (nodes - 1))
+       (int_range 1 6)
+       (list_size (return nodes) (int_range 0 6)))
+  >|= fun raw -> (nodes, raw)
+
+let prop_codec_hop_vs_oracle =
+  test "codec: encode/decode hop = oracle on the BSS engine"
+    bss_codec_oracle_gen
+    (fun (nodes, raw) ->
+      let reference = Rbss.member ~id:0 ~group_size:nodes () in
+      let hopped = Bss.member ~id:0 ~group_size:nodes () in
+      let enc = Codec.put_envelope Codec.put_str in
+      let dec = Codec.get_envelope Codec.get_str in
+      List.iteri
+        (fun i (s, seq, comps) ->
+          let comps = Array.of_list comps in
+          comps.(s) <- seq;
+          let e =
+            {
+              Bss.sender = s;
+              stamp = Vc.of_array comps;
+              tag = Printf.sprintf "%d:%d" s i;
+              payload = "x";
+            }
+          in
+          Rbss.receive reference e;
+          Bss.receive hopped (Codec.decode dec (Codec.encode pool enc e)))
+        raw;
+      Rbss.delivered_tags reference = Bss.delivered_tags hopped
+      && Rbss.pending_count reference = Bss.pending_count hopped
+      && Rbss.buffered_ever reference = Bss.buffered_ever hopped)
+
+(* --- framed groups = plain groups, same seed --- *)
+
+let lat () = Latency.lognormal ~mu:0.3 ~sigma:0.9 ()
+
+let nodes = 4
+
+let ops = 60
+
+(* Schedule op [i] at time i/2 from sender [i mod nodes]; the two runs
+   share nothing but the seed, so equality means the framed path made
+   exactly the same RNG draws and deliveries. *)
+let schedule_ops engine f =
+  for i = 0 to ops - 1 do
+    Engine.schedule_at engine ~time:(0.5 *. float_of_int i) (fun () -> f i)
+  done;
+  Engine.run engine
+
+let bss_plain seed =
+  let engine = Engine.create ~seed () in
+  let net = Net.create engine ~nodes ~latency:(lat ()) () in
+  let g = Bss.Group.create net () in
+  schedule_ops engine (fun i ->
+      Bss.Group.bcast g ~src:(i mod nodes) ~tag:(Printf.sprintf "t%d" i)
+        (Printf.sprintf "p%d" i));
+  (List.init nodes (Bss.Group.delivered_tags g), Net.bytes_sent net)
+
+let bss_framed seed =
+  let engine = Engine.create ~seed () in
+  let net = Net.create engine ~nodes ~latency:(lat ()) () in
+  let g = Fgroup.Bss.create net ~enc:Codec.put_str ~dec:Codec.get_str () in
+  schedule_ops engine (fun i ->
+      Fgroup.Bss.bcast g ~src:(i mod nodes) ~tag:(Printf.sprintf "t%d" i)
+        (Printf.sprintf "p%d" i));
+  (List.init nodes (Fgroup.Bss.delivered_tags g), Net.bytes_sent net, g)
+
+let test_bss_framed_equiv () =
+  List.iter
+    (fun seed ->
+      let plain, plain_bytes = bss_plain seed in
+      let framed, framed_bytes, g = bss_framed seed in
+      check "bss: framed tags = plain tags (all members)" true (plain = framed);
+      List.iter
+        (fun tags -> check_int "bss: everyone delivered all" ops
+            (List.length tags))
+        framed;
+      (* plain path books the abstract default size (1/copy); framed
+         books real frame lengths, which include a stamp of [nodes]
+         components and can only be bigger *)
+      check "bss: framed bytes are real" true (framed_bytes > plain_bytes);
+      check "bss: per-member wire accounting fed" true
+        (Fgroup.Bss.wire_bytes g > framed_bytes);
+      let m = Fgroup.Bss.metrics g 0 in
+      check "bss: bytes/delivery populated" true
+        (Metrics.bytes_per_delivery m > 0.0))
+    [ 1; 7; 42; 1337 ]
+
+let psync_plain seed =
+  let engine = Engine.create ~seed () in
+  let net = Net.create engine ~nodes ~latency:(lat ()) () in
+  let g = Psync.create net () in
+  schedule_ops engine (fun i ->
+      ignore
+        (Psync.send g ~src:(i mod nodes) ~name:(Printf.sprintf "s%d" i)
+           (Printf.sprintf "p%d" i)));
+  List.map (List.map Label.to_string) (Psync.all_delivered_orders g)
+
+let psync_framed seed =
+  let engine = Engine.create ~seed () in
+  let net = Net.create engine ~nodes ~latency:(lat ()) () in
+  let g = Fgroup.Psync.create net ~enc:Codec.put_str ~dec:Codec.get_str () in
+  schedule_ops engine (fun i ->
+      ignore
+        (Fgroup.Psync.send g ~src:(i mod nodes) ~name:(Printf.sprintf "s%d" i)
+           (Printf.sprintf "p%d" i)));
+  ( List.map (List.map Label.to_string) (Fgroup.Psync.all_delivered_orders g),
+    g )
+
+let test_psync_framed_equiv () =
+  List.iter
+    (fun seed ->
+      let plain = psync_plain seed in
+      let framed, g = psync_framed seed in
+      check "psync: framed orders = plain orders" true (plain = framed);
+      check "psync: wire bytes flow" true (Fgroup.Psync.wire_bytes g > 0))
+    [ 3; 11; 99 ]
+
+(* Explicit deps: op i depends on ops i-1 and i/2 — a dependency chain
+   plus cross links, enough reordering pressure to park messages. *)
+let osend_run ~framed seed =
+  let engine = Engine.create ~seed () in
+  let labels = Array.make ops None in
+  let dep_for i =
+    if i = 0 then Dep.null
+    else
+      Dep.after_all
+        (List.filter_map
+           (fun j -> labels.(j))
+           (List.sort_uniq Int.compare [ i - 1; i / 2 ]))
+  in
+  if framed then begin
+    let net = Net.create engine ~nodes ~latency:(lat ()) () in
+    let g = Fgroup.Osend.create net ~enc:Codec.put_str ~dec:Codec.get_str () in
+    schedule_ops engine (fun i ->
+        labels.(i) <-
+          Some
+            (Fgroup.Osend.osend g ~src:(i mod nodes)
+               ~name:(Printf.sprintf "s%d" i) ~dep:(dep_for i)
+               (Printf.sprintf "p%d" i)));
+    List.map (List.map Label.to_string) (Fgroup.Osend.all_delivered_orders g)
+  end
+  else begin
+    let net = Net.create engine ~nodes ~latency:(lat ()) () in
+    let g = Group.create net () in
+    schedule_ops engine (fun i ->
+        labels.(i) <-
+          Some
+            (Group.osend g ~src:(i mod nodes) ~name:(Printf.sprintf "s%d" i)
+               ~dep:(dep_for i)
+               (Printf.sprintf "p%d" i)));
+    List.map (List.map Label.to_string) (Group.all_delivered_orders g)
+  end
+
+let test_osend_framed_equiv () =
+  List.iter
+    (fun seed ->
+      check "osend: framed orders = plain orders" true
+        (osend_run ~framed:false seed = osend_run ~framed:true seed))
+    [ 2; 13; 77 ]
+
+let () =
+  Alcotest.run "wire"
+    [
+      ( "primitives",
+        [
+          prop_uint_roundtrip;
+          prop_int_roundtrip;
+          prop_str_roundtrip;
+          Alcotest.test_case "extremes and rejections" `Quick test_extremes;
+        ] );
+      ( "codec",
+        [
+          prop_label_roundtrip;
+          prop_dep_roundtrip;
+          prop_clock_roundtrip;
+          prop_message_roundtrip;
+          prop_envelope_roundtrip;
+          prop_truncated_fails;
+          Alcotest.test_case "trailing/corrupt frames" `Quick
+            test_trailing_bytes;
+          Alcotest.test_case "shared view decodes once" `Quick
+            test_view_memoized;
+          prop_codec_hop_vs_oracle;
+        ] );
+      ( "framed groups",
+        [
+          Alcotest.test_case "bss framed = plain (same seed)" `Quick
+            test_bss_framed_equiv;
+          Alcotest.test_case "psync framed = plain (same seed)" `Quick
+            test_psync_framed_equiv;
+          Alcotest.test_case "osend framed = plain (same seed)" `Quick
+            test_osend_framed_equiv;
+        ] );
+    ]
