@@ -60,6 +60,8 @@ let all : experiment list =
     mono "O1"
       "spec-derived objects: counter pipeline, or-set cart, rga collab edit"
       Exp_o1.run;
+    mono "H1" "fault campaign: nemesis schedules over every composition"
+      Exp_hunt.run;
     mono "micro" ~kind:Timing "bechamel micro-benchmarks of the hot paths"
       Micro.run;
     mono "scaling" ~kind:Timing

@@ -50,7 +50,14 @@ let causal ~graph trace =
   List.iter
     (fun node ->
       let records = deliver_records trace ~node in
-      let delivered = ref Label.Set.empty in
+      (* Membership is tracked by trace tag, not by graph-resolved label:
+         the audited graph is one member's extracted R(M), and under loss
+         it can lack a vertex for a message other members legitimately
+         delivered — resolving such a delivery to nothing would drop it
+         from the set and flag its descendants as premature.  Tags are
+         label renderings and unique per run, so tag equality is label
+         equality wherever both exist. *)
+      let delivered = Hashtbl.create 64 in
       let later_record a rest =
         List.find_opt
           (fun r -> String.equal r.Trace.tag (Label.to_string a))
@@ -62,7 +69,7 @@ let causal ~graph trace =
           (match resolve r.Trace.tag with
           | None -> ()
           | Some label ->
-            let ok l = Label.Set.mem l !delivered in
+            let ok l = Hashtbl.mem delivered (Label.to_string l) in
             let dep = Depgraph.dep_of graph label in
             if not (Dep.satisfied ~delivered:ok dep) then begin
               let missing =
@@ -94,8 +101,11 @@ let causal ~graph trace =
                      (Label.to_string label) which
                      (String.concat ", " (List.map describe missing)))
                 :: !diags
-            end;
-            delivered := Label.Set.add label !delivered);
+            end);
+          (* Every delivery joins the set, resolvable or not — a record
+             the graph cannot name still satisfies dependencies that
+             name it. *)
+          Hashtbl.replace delivered r.Trace.tag ();
           scan rest
       in
       scan records)

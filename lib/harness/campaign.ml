@@ -1,0 +1,440 @@
+(* Randomized fault campaign: seed × workload-shape × nemesis-schedule
+   combinations over the shipped stack compositions, every run audited by
+   the offline oracle, failures shrunk to a minimal deterministic repro.
+
+   A case is a pure value; running it is a pure function of the value
+   (the simulation draws everything from the case seed), so a failing
+   case IS its repro — shrinking just searches for the smallest case
+   value that still fails, re-running each candidate. *)
+
+module D = Drivers
+module Nemesis = Causalb_net.Nemesis
+module Fault = Causalb_net.Fault
+module Rng = Causalb_util.Rng
+module Json = Causalb_util.Json
+module Printer = Causalb_util.Printer
+module Diag = Causalb_check.Diag
+module Mutate = Causalb_check.Mutate
+
+type case = {
+  id : int;
+  name : string;        (* "hunt-<id>" — also the pool task name *)
+  seed : int;           (* the simulation seed (Pool.seed_for-derived) *)
+  spec : D.stack_spec;
+  replicas : int;
+  workload : D.workload;
+  nemesis : Nemesis.t;
+}
+
+type verdict = {
+  case : case;
+  ok : bool;
+  lost : int;           (* copies the nemesis removed from the wire *)
+  messages : int;
+  checks : string list; (* names of the checkers that fired, deduped *)
+  violation : string option; (* first diagnostic's summary *)
+}
+
+(* --- case generation --- *)
+
+let specs =
+  [|
+    D.Fifo_only;
+    D.Bss_stack;
+    D.Psync_stack;
+    D.Osend_stack;
+    D.Osend_merge;
+    D.Osend_counted 4;
+    D.Osend_sequencer;
+  |]
+
+let mix_tag (w : D.workload) =
+  match w.mix with
+  | D.Random p -> Printf.sprintf "random:%.2f" p
+  | D.Fixed_window k -> Printf.sprintf "window:%d" k
+
+(* One fault phase: a timed disturbance plus the event that ends it.
+   Partitions split the full membership (every node listed, so the
+   duplicate-membership guard in [Net.partition] applies to the whole
+   assignment); fault phases swap the loss/dup/jitter profile in and
+   back out. *)
+let gen_phase rng ~buggify ~replicas ~makespan =
+  let start = Rng.float rng (makespan *. 0.8) in
+  let stop = start +. 1.0 +. Rng.float rng (makespan *. 0.4) in
+  if Rng.bool rng then begin
+    (* partition into 2 cells (3 under buggify when the group allows) *)
+    let order = Array.init replicas (fun i -> i) in
+    Rng.shuffle rng order;
+    let nodes = Array.to_list order in
+    let three = buggify && replicas >= 3 && Rng.bool rng in
+    let cut1 = 1 + Rng.int rng (replicas - 1) in
+    let cells =
+      if three && cut1 < replicas - 1 then
+        let cut2 = cut1 + 1 + Rng.int rng (replicas - 1 - cut1) in
+        [
+          List.filteri (fun i _ -> i < cut1) nodes;
+          List.filteri (fun i _ -> i >= cut1 && i < cut2) nodes;
+          List.filteri (fun i _ -> i >= cut2) nodes;
+        ]
+      else
+        [
+          List.filteri (fun i _ -> i < cut1) nodes;
+          List.filteri (fun i _ -> i >= cut1) nodes;
+        ]
+    in
+    [
+      { Nemesis.at = start; action = Nemesis.Partition cells };
+      { Nemesis.at = stop; action = Nemesis.Heal };
+    ]
+  end
+  else begin
+    let scale = if buggify then 0.5 else 0.25 in
+    let fault =
+      Fault.make
+        ~drop_prob:(Rng.float rng scale)
+        ~dup_prob:(Rng.float rng scale)
+        ~jitter:(Rng.float rng (if buggify then 8.0 else 4.0))
+        ()
+    in
+    [
+      { Nemesis.at = start; action = Nemesis.Set_fault fault };
+      { Nemesis.at = stop; action = Nemesis.Set_fault Fault.none };
+    ]
+  end
+
+let gen_case ~base_seed ~buggify ~min_phases id =
+  let name = Printf.sprintf "hunt-%d" id in
+  let seed = Pool.seed_for ~base:base_seed name in
+  let rng = Rng.create seed in
+  let spec = specs.(id mod Array.length specs) in
+  let replicas = 3 + Rng.int rng 3 in
+  let ops = 20 + Rng.int rng 41 in
+  let spacing = [| 0.3; 0.5; 0.8 |].(Rng.int rng 3) in
+  let mix =
+    if Rng.bool rng then D.Fixed_window (2 + Rng.int rng 5)
+    else D.Random (0.6 +. Rng.float rng 0.35)
+  in
+  (* The count-closed merge only promises agreement when batches align
+     with the workload's windows (the §6.2 usage): each member's first
+     [k+1] causal deliveries are exactly window plus closing sync, so
+     the count must equal the window size + 1 — and the mix must be
+     windowed.  A free-running count over a random mix batches
+     member-locally different sets, which is not a total order and not a
+     bug. *)
+  let spec, mix =
+    match spec with
+    | D.Osend_counted _ ->
+      let k = match mix with D.Fixed_window k -> k | D.Random _ -> 4 in
+      (D.Osend_counted (k + 1), D.Fixed_window k)
+    | s -> (s, mix)
+  in
+  let workload = { D.ops; spacing; mix } in
+  let makespan = float_of_int (ops + 1) *. spacing in
+  let phases =
+    let cap = if buggify then 4 else 3 in
+    Int.max min_phases (Rng.int rng cap)
+  in
+  let nemesis =
+    List.concat
+      (List.init phases (fun _ -> gen_phase rng ~buggify ~replicas ~makespan))
+  in
+  { id; name; seed; spec; replicas; workload; nemesis }
+
+let generate ?(base_seed = 42) ?(buggify = false) ?(min_phases = 0) ~seeds () =
+  List.init seeds (gen_case ~base_seed ~buggify ~min_phases)
+
+(* --- running one case --- *)
+
+let dedup xs =
+  List.fold_left (fun acc x -> if List.mem x acc then acc else acc @ [ x ]) [] xs
+
+(* [plant] re-audits the run with one seeded ordering violation spliced
+   into the trace ([Causalb_check.Mutate]) — the self-test that the
+   campaign's oracle plumbing actually rejects bad orderings, end to
+   end, on the very traces it hunts over.  A case whose trace has no
+   mutation site (too few dependent deliveries) passes. *)
+let run_case ?(plant = false) (c : case) =
+  let r =
+    D.run_stack ~seed:c.seed ~check:true ~nemesis:c.nemesis
+      ~replicas:c.replicas c.spec c.workload
+  in
+  let audit =
+    match r.D.audit with
+    | Some a -> a
+    | None -> assert false (* ~check:true always produces an audit *)
+  in
+  let diags =
+    if not plant then audit.D.diagnostics
+    else
+      let mutate =
+        match c.spec with
+        (* FIFO/BSS are only held to per-sender order, so the planted
+           violation must be one their checker sees. *)
+        | D.Fifo_only | D.Bss_stack -> Mutate.reorder_fifo
+        | _ -> Mutate.reorder_causal
+      in
+      match mutate ~graph:audit.D.graph audit.D.trace with
+      | None -> audit.D.diagnostics
+      | Some (mutated, _, _) ->
+        D.recheck c.spec ~lost:r.D.lost { audit with D.trace = mutated }
+  in
+  {
+    case = c;
+    ok = r.D.checks_ok && diags = [];
+    lost = r.D.lost;
+    messages = r.D.messages;
+    checks = dedup (List.map (fun d -> d.Diag.check) diags);
+    violation =
+      (match diags with d :: _ -> Some (Diag.to_string d) | [] -> None);
+  }
+
+(* --- shrinking --- *)
+
+let fails ?plant count c =
+  incr count;
+  not (run_case ?plant c).ok
+
+(* Nemesis first: greedy one-event-at-a-time removal, each candidate
+   fully re-run (runs are deterministic, so a removal that keeps the
+   case failing is safe to commit).  Greedy is ddmin with chunk size 1 —
+   schedules are a handful of events, so the quadratic worst case is
+   cheap and the result is 1-minimal: no single remaining event can be
+   dropped. *)
+let shrink_nemesis ?plant count c =
+  let rec loop kept = function
+    | [] -> kept
+    | e :: rest ->
+      if fails ?plant count { c with nemesis = kept @ rest } then
+        loop kept rest
+      else loop (kept @ [ e ]) rest
+  in
+  { c with nemesis = loop [] c.nemesis }
+
+(* Then workload length: binary search for the smallest failing op
+   count.  Invariant: [hi] fails (the input case does); on exit [lo=hi]
+   still fails, so the returned case is a verified repro even when
+   failure is not monotone in [ops]. *)
+let shrink_ops ?plant count c =
+  let with_ops n = { c with workload = { c.workload with D.ops = n } } in
+  let lo = ref 1 and hi = ref c.workload.D.ops in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if fails ?plant count (with_ops mid) then hi := mid else lo := mid + 1
+  done;
+  with_ops !hi
+
+let shrink ?plant c =
+  let count = ref 0 in
+  let c = shrink_nemesis ?plant count c in
+  let c = shrink_ops ?plant count c in
+  (c, !count)
+
+(* --- reporting --- *)
+
+let describe c =
+  Printf.sprintf "%s: seed=%d spec=%s replicas=%d ops=%d spacing=%.1f \
+                  mix=%s nemesis=[%s]"
+    c.name c.seed (D.stack_spec_name c.spec) c.replicas c.workload.D.ops
+    c.workload.D.spacing (mix_tag c.workload)
+    (Nemesis.to_string c.nemesis)
+
+let verdict_json v =
+  Json.Obj
+    [
+      ("name", Json.Str v.case.name);
+      ("seed", Json.Num (float_of_int v.case.seed));
+      ("spec", Json.Str (D.stack_spec_name v.case.spec));
+      ("replicas", Json.Num (float_of_int v.case.replicas));
+      ("ops", Json.Num (float_of_int v.case.workload.D.ops));
+      ("mix", Json.Str (mix_tag v.case.workload));
+      ("nemesis", Json.Str (Nemesis.to_string v.case.nemesis));
+      ("ok", Json.Bool v.ok);
+      ("lost", Json.Num (float_of_int v.lost));
+      ("messages", Json.Num (float_of_int v.messages));
+      ("checks", Json.List (List.map (fun c -> Json.Str c) v.checks));
+      ( "violation",
+        match v.violation with Some s -> Json.Str s | None -> Json.Null );
+    ]
+
+(* The worker side prints only the run-dependent fields; the parent owns
+   the case list (generation is deterministic), so it re-attaches the
+   case by task order when parsing. *)
+let verdict_line v =
+  Json.to_string
+    (Json.Obj
+       [
+         ("ok", Json.Bool v.ok);
+         ("lost", Json.Num (float_of_int v.lost));
+         ("messages", Json.Num (float_of_int v.messages));
+         ("checks", Json.List (List.map (fun c -> Json.Str c) v.checks));
+         ( "violation",
+           match v.violation with Some s -> Json.Str s | None -> Json.Null );
+       ])
+
+let verdict_of_line c line =
+  let j = Json.of_string line in
+  let field name = Option.get (Json.member name j) in
+  {
+    case = c;
+    ok = Json.get_bool (field "ok");
+    lost = Json.get_int (field "lost");
+    messages = Json.get_int (field "messages");
+    checks = List.map Json.get_string (Json.get_list (field "checks"));
+    violation =
+      (match field "violation" with Json.Null -> None | s -> Some (Json.get_string s));
+  }
+
+type repro = {
+  original : verdict;
+  minimal : case;
+  attempts : int; (* candidate re-runs the shrinker spent *)
+}
+
+type report = {
+  verdicts : verdict list; (* one per case, in generation order *)
+  repros : repro list;     (* one per failing case *)
+  jobs : int;
+  wall_ms : float;
+}
+
+let failures r = List.filter (fun v -> not v.ok) r.verdicts
+
+(* --- the parallel sweep --- *)
+
+let run ?(jobs = 1) ?(domains = 0) ?(base_seed = 42) ?(buggify = false)
+    ?(plant = false) ~seeds () =
+  let cases = generate ~base_seed ~buggify ~seeds () in
+  let body c ~seed:_ = Printer.line (verdict_line (run_case ~plant c)) in
+  let pool_report =
+    if domains > 0 then
+      Dpool.run ~domains ~base_seed
+        (List.map (fun c -> Dpool.task ~name:c.name (body c)) cases)
+    else
+      Pool.run ~jobs ~base_seed
+        (List.map (fun c -> Pool.task ~name:c.name (body c)) cases)
+  in
+  let verdicts =
+    List.map2
+      (fun c (r : Pool.result) ->
+        match r.Pool.status with
+        | Pool.Done -> verdict_of_line c (String.trim r.Pool.output)
+        | Pool.Failed msg ->
+          {
+            case = c;
+            ok = false;
+            lost = 0;
+            messages = 0;
+            checks = [ "task" ];
+            violation = Some ("task failed: " ^ msg);
+          })
+      cases pool_report.Pool.results
+  in
+  (* Shrinking is sequential, in-process, after the sweep: each failure
+     needs many dependent re-runs, and failures are the rare path. *)
+  let repros =
+    List.filter_map
+      (fun v ->
+        if v.ok then None
+        else if v.checks = [ "task" ] then
+          (* a crashed worker has no trace to shrink against *)
+          Some { original = v; minimal = v.case; attempts = 0 }
+        else
+          let minimal, attempts = shrink ~plant v.case in
+          Some { original = v; minimal; attempts })
+      verdicts
+  in
+  {
+    verdicts;
+    repros;
+    jobs = pool_report.Pool.jobs;
+    wall_ms = pool_report.Pool.wall_ms;
+  }
+
+(* --- the planted-bug self-test --- *)
+
+(* End-to-end audit of the hunting machinery itself: plant one known
+   ordering violation per case (reusing the checker-audit mutators),
+   assert the campaign finds it, shrink the first find, and assert the
+   minimal repro (a) still fails, deterministically, and (b) is strictly
+   smaller on BOTH axes — fewer nemesis events and fewer ops. *)
+let self_test ?(base_seed = 42) ?(log = Printer.line) () =
+  let seeds = Array.length specs in
+  let cases = generate ~base_seed ~min_phases:1 ~seeds () in
+  let verdicts = List.map (run_case ~plant:true) cases in
+  let found = List.filter (fun v -> not v.ok) verdicts in
+  log
+    (Printf.sprintf "self-test: planted %d violations, detected %d"
+       (List.length cases) (List.length found));
+  if found = [] then begin
+    log "self-test: FAILED — no planted violation was detected";
+    false
+  end
+  else begin
+    let v = List.hd found in
+    let minimal, attempts = shrink ~plant:true v.case in
+    let v1 = run_case ~plant:true minimal in
+    let v2 = run_case ~plant:true minimal in
+    let nemesis_reduced =
+      List.length minimal.nemesis < List.length v.case.nemesis
+    in
+    let ops_reduced = minimal.workload.D.ops < v.case.workload.D.ops in
+    let still_fails = (not v1.ok) && (not v2.ok) && v1.checks = v2.checks in
+    log
+      (Printf.sprintf
+         "self-test: shrunk %s — nemesis %d -> %d events, ops %d -> %d \
+          (%d candidate runs)"
+         v.case.name
+         (List.length v.case.nemesis)
+         (List.length minimal.nemesis)
+         v.case.workload.D.ops minimal.workload.D.ops attempts);
+    log (Printf.sprintf "self-test: minimal repro  %s" (describe minimal));
+    log
+      (Printf.sprintf "self-test: repro fails deterministically: %b (%s)"
+         still_fails
+         (String.concat "," v1.checks));
+    let ok = nemesis_reduced && ops_reduced && still_fails in
+    log (if ok then "self-test: ok" else "self-test: FAILED");
+    ok
+  end
+
+(* --- rendering --- *)
+
+let print_report ?(json = false) ?(log = Printer.line) r =
+  if json then begin
+    List.iter (fun v -> log (Json.to_string (verdict_json v))) r.verdicts;
+    let fails = failures r in
+    log
+      (Json.to_string
+         (Json.Obj
+            [
+              ("summary", Json.Str "campaign");
+              ("cases", Json.Num (float_of_int (List.length r.verdicts)));
+              ("failures", Json.Num (float_of_int (List.length fails)));
+              ( "lossy",
+                Json.Num
+                  (float_of_int
+                     (List.length
+                        (List.filter (fun v -> v.lost > 0) r.verdicts))) );
+              ("jobs", Json.Num (float_of_int r.jobs));
+            ]))
+  end
+  else begin
+    let fails = failures r in
+    let lossy = List.filter (fun v -> v.lost > 0) r.verdicts in
+    log
+      (Printf.sprintf
+         "campaign: %d cases, %d with loss on the wire, %d failure(s) \
+          (%d job(s))"
+         (List.length r.verdicts) (List.length lossy) (List.length fails)
+         r.jobs);
+    List.iter
+      (fun (rep : repro) ->
+        log (Printf.sprintf "FAIL %s" (describe rep.original.case));
+        (match rep.original.violation with
+        | Some s -> log (Printf.sprintf "     %s" s)
+        | None -> ());
+        log
+          (Printf.sprintf "     minimal repro (%d candidate runs): %s"
+             rep.attempts (describe rep.minimal)))
+      r.repros
+  end

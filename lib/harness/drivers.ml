@@ -279,6 +279,7 @@ type stack_audit = {
 type stack_result = {
   delivery : Stats.t;   (* submit -> app release *)
   messages : int;
+  lost : int;           (* copies dropped by partition + injected loss *)
   buffered : int;       (* causal-layer forced waits across members *)
   layers : Metrics.t list;
   checks_ok : bool;
@@ -380,8 +381,40 @@ let static_audit ?(seed = 42) ?(latency = default_latency) ~replicas spec w =
   let rng = Engine.fork_rng engine in
   static_passes ~replicas spec (op_sequence rng w)
 
+(* Which offline checkers soundly apply to one audited run.  [lost = 0]
+   means every scheduled copy arrived, so completeness-dependent
+   properties (same-set windows, strict release agreement) are
+   checkable; under loss (partition or injected drops, the campaign's
+   nemesis) the oracle is restricted to safety — causal order, FIFO per
+   sender over what {e was} delivered, and stable-point digests (a cycle
+   only closes at members that saw its whole window, so digests of
+   closed cycles must still agree).  Shared by [run_stack] and the
+   campaign driver, whose planted-bug self-test re-runs the same
+   checkers over a mutated trace. *)
+let recheck spec ~lost (a : stack_audit) =
+  let module C = Causalb_check.Trace_check in
+  let graph = a.graph and tr = a.trace in
+  let none = Label.Set.empty in
+  let complete = lost = 0 in
+  let if_complete diags = if complete then diags () else [] in
+  match spec with
+  | Fifo_only | Bss_stack ->
+    C.fifo ~graph tr
+    @ if_complete (fun () -> C.total_order ~graph ~sync:none tr)
+  | Psync_stack ->
+    C.causal ~graph tr
+    @ if_complete (fun () -> C.total_order ~graph ~sync:none tr)
+  | Osend_stack ->
+    C.causal ~graph tr
+    @ if_complete (fun () -> C.total_order ~graph ~sync:a.sync tr)
+    @ C.stable_points tr
+  | Osend_merge | Osend_counted _ | Osend_sequencer ->
+    C.causal ~graph tr
+    @ if_complete (fun () -> C.total_order ~strict:true ~graph ~sync:none tr)
+    @ C.stable_points tr
+
 let run_stack ?(seed = 42) ?(latency = default_latency) ?(check = false)
-    ?(on_static = `Warn) ~replicas spec w : stack_result =
+    ?(on_static = `Warn) ?nemesis ~replicas spec w : stack_result =
   let engine = Engine.create ~seed () in
   let ordering, total = stack_params spec in
   (* Submit-to-release latency keyed by op name: names survive even when
@@ -486,6 +519,12 @@ let run_stack ?(seed = 42) ?(latency = default_latency) ?(check = false)
       (List.length static_diags) (stack_spec_name spec)
       Causalb_check.Diag.pp_list static_diags;
   if not refused then begin
+    (* Arm the nemesis before the workload: an action and a submission
+       scheduled at the same virtual instant fire nemesis-first, so a
+       fault phase covers the ops whose times it spans. *)
+    (match nemesis with
+    | Some schedule -> Stack.install_nemesis stack schedule
+    | None -> ());
     List.iteri
       (fun i op ->
         Engine.schedule_at engine ~time:(float_of_int i *. w.spacing)
@@ -493,8 +532,14 @@ let run_stack ?(seed = 42) ?(latency = default_latency) ?(check = false)
       ops;
     Stack.run stack
   end;
+  let lost = Stack.lost_copies stack in
   let orders = Stack.all_delivered_orders stack in
+  (* Agreement properties need complete delivery; when the nemesis
+     removed copies from the wire they are vacuous, and the oracle below
+     is restricted to safety the same way (see [recheck]). *)
   let checks_ok =
+    lost > 0
+    ||
     match spec with
     | Osend_merge | Osend_counted _ | Osend_sequencer ->
       Causalb_core.Checker.identical_orders orders
@@ -526,25 +571,18 @@ let run_stack ?(seed = 42) ?(latency = default_latency) ?(check = false)
         match Stack.graph stack with Some g -> g | None -> intended
       in
       let sync = !sync_labels in
-      let module C = Causalb_check.Trace_check in
-      let none = Label.Set.empty in
-      let diagnostics =
-        match spec with
-        | Fifo_only | Bss_stack ->
-          C.fifo ~graph tr @ C.total_order ~graph ~sync:none tr
-        | Psync_stack ->
-          C.causal ~graph tr @ C.total_order ~graph ~sync:none tr
-        | Osend_stack ->
-          C.causal ~graph tr
-          @ C.total_order ~graph ~sync tr
-          @ C.stable_points tr
-        | Osend_merge | Osend_counted _ | Osend_sequencer ->
-          C.causal ~graph tr
-          @ C.total_order ~strict:true ~graph ~sync:none tr
-          @ C.stable_points tr
-      in
       let lint = Causalb_check.Spec_lint.lint intended in
-      Some { trace = tr; graph; sync; diagnostics; lint; static = static_diags }
+      let a =
+        {
+          trace = tr;
+          graph;
+          sync;
+          diagnostics = [];
+          lint;
+          static = static_diags;
+        }
+      in
+      Some { a with diagnostics = recheck spec ~lost a }
   in
   let checks_ok =
     checks_ok && static_diags = []
@@ -556,6 +594,7 @@ let run_stack ?(seed = 42) ?(latency = default_latency) ?(check = false)
   {
     delivery = lat;
     messages = Stack.messages_sent stack;
+    lost;
     buffered;
     layers;
     checks_ok;

@@ -93,6 +93,11 @@ type stack_audit = {
 type stack_result = {
   delivery : Causalb_util.Stats.t;  (** submit → application release *)
   messages : int;                   (** unicast copies on the wire *)
+  lost : int;
+      (** copies the transport dropped before arrival (partition +
+          injected loss).  When non-zero, agreement properties are
+          vacuous: [checks_ok] and the oracle restrict themselves to
+          safety (see {!recheck}) *)
   buffered : int;   (** forced waits in the causal layer, all members *)
   layers : Causalb_stackbase.Metrics.t list;
       (** uniform per-layer metrics, bottom-up *)
@@ -150,11 +155,22 @@ val static_audit :
     stream — the audited intent is exactly the workload a real run
     submits. *)
 
+val recheck :
+  stack_spec -> lost:int -> stack_audit -> Causalb_check.Diag.t list
+(** Run the offline checkers that soundly apply to this composition over
+    an audit's trace: causal safety / FIFO / stable-point digests
+    always, the completeness-dependent agreement checkers only when
+    [lost = 0] (under loss a member legitimately never sees some
+    messages).  [run_stack] computes its [audit.diagnostics] with
+    exactly this function; the campaign driver re-runs it over mutated
+    traces ([Causalb_check.Mutate]) in its planted-bug self-test. *)
+
 val run_stack :
   ?seed:int ->
   ?latency:Causalb_sim.Latency.t ->
   ?check:bool ->
   ?on_static:[ `Warn | `Refuse ] ->
+  ?nemesis:Causalb_net.Nemesis.t ->
   replicas:int ->
   stack_spec ->
   workload ->
@@ -176,7 +192,13 @@ val run_stack :
     on (it replays the full workload intent).  Under [~on_static:`Warn]
     (default) static issues are printed to stderr and fail [checks_ok];
     under [`Refuse] an ill-formed configuration is rejected up front —
-    nothing is submitted, [refused] is set, and [checks_ok] is false. *)
+    nothing is submitted, [refused] is set, and [checks_ok] is false.
+
+    [?nemesis] arms a timed fault schedule (partitions, heals,
+    loss/dup/jitter phases — {!Causalb_net.Nemesis}) on the stack before
+    any operation is submitted; an action and a submission at the same
+    virtual instant fire nemesis-first.  The run stays deterministic in
+    (seed, workload, schedule). *)
 
 (** {1 Spec-derived objects over the stable-point service}
 

@@ -1,0 +1,60 @@
+module Engine = Causalb_sim.Engine
+
+type action = Partition of int list list | Heal | Set_fault of Fault.t
+
+type event = { at : float; action : action }
+
+type t = event list
+
+let lossy schedule =
+  List.exists
+    (fun e ->
+      match e.action with
+      | Partition _ -> true
+      | Heal -> false
+      | Set_fault f -> f.Fault.drop_prob > 0.0)
+    schedule
+
+let install ~engine ~partition ~heal ~set_fault schedule =
+  let ordered =
+    List.stable_sort (fun a b -> Float.compare a.at b.at) schedule
+  in
+  List.iter
+    (fun e ->
+      let run () =
+        match e.action with
+        | Partition cells -> partition cells
+        | Heal -> heal ()
+        | Set_fault f -> set_fault f
+      in
+      Engine.schedule_at engine ~time:(Float.max e.at (Engine.now engine)) run)
+    ordered
+
+let install_net net schedule =
+  install ~engine:(Net.engine net)
+    ~partition:(Net.partition net)
+    ~heal:(fun () -> Net.heal net)
+    ~set_fault:(Net.set_fault net)
+    schedule
+
+let pp_action ppf = function
+  | Partition cells ->
+    Format.fprintf ppf "partition [%s]"
+      (String.concat " | "
+         (List.map
+            (fun cell -> String.concat " " (List.map string_of_int cell))
+            cells))
+  | Heal -> Format.pp_print_string ppf "heal"
+  | Set_fault f ->
+    if f = Fault.none then Format.pp_print_string ppf "faults(none)"
+    else Fault.pp ppf f
+
+let pp ppf schedule =
+  if schedule = [] then Format.pp_print_string ppf "quiet"
+  else
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+      (fun ppf e -> Format.fprintf ppf "@@%.1f %a" e.at pp_action e.action)
+      ppf schedule
+
+let to_string schedule = Format.asprintf "%a" pp schedule

@@ -1,0 +1,56 @@
+(** Timed fault schedules — the nemesis of a randomized campaign.
+
+    A schedule is a list of (virtual time, action) events: install a
+    partition, heal it, or swap the injected-fault profile
+    (loss/duplication/jitter).  {!install} arms every event on the
+    engine up front, so the same schedule replayed on the same seed
+    perturbs the run identically — the property the campaign shrinker
+    relies on when it re-runs candidate repros.
+
+    The module deliberately knows nothing about workloads or engines:
+    campaign generation lives in [Causalb_harness.Campaign]; this is the
+    net-layer hook it arms. *)
+
+type action =
+  | Partition of int list list
+      (** install these cells (see {!Net.partition}; unlisted nodes
+          become singletons) *)
+  | Heal  (** remove any partition *)
+  | Set_fault of Fault.t
+      (** replace the injected-fault profile; [Fault.none] ends a
+          loss/dup/jitter phase *)
+
+type event = { at : float;  (** virtual ms *) action : action }
+
+type t = event list
+(** Events fire in list order when times are equal; [install] sorts by
+    time (stable), so a well-formed schedule is non-decreasing in
+    [at]. *)
+
+val lossy : t -> bool
+(** Whether the schedule can remove copies from the wire: it contains a
+    [Partition] or a [Set_fault] with positive [drop_prob].  Lossless
+    schedules (dup/jitter only) keep completeness properties checkable;
+    lossy ones restrict the oracle to safety. *)
+
+val install :
+  engine:Causalb_sim.Engine.t ->
+  partition:(int list list -> unit) ->
+  heal:(unit -> unit) ->
+  set_fault:(Fault.t -> unit) ->
+  t ->
+  unit
+(** Arm every event on the engine ([Engine.schedule_at], so times before
+    [now] are clamped forward by the engine).  The closures decouple the
+    schedule from what it drives — a raw {!Net.t}, a stack composition,
+    or anything else exposing the three operations. *)
+
+val install_net : 'a Net.t -> t -> unit
+(** [install] specialised to a raw network. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+(** One-line rendering, e.g.
+    ["@3.0 partition [0 1 | 2 3]; @9.0 heal; @12.0 faults(drop=0.10,...)"].
+    Deterministic — shrink logs and JSON reports embed it. *)

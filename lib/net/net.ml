@@ -30,7 +30,11 @@ type 'a t = {
   mutable cell_of : int array option; (* partition cell per node *)
   mutable sent : int;
   mutable delivered : int;
-  mutable dropped : int;
+  (* One counter per drop cause, so campaign reports can attribute loss:
+     [messages_dropped] is their sum. *)
+  mutable dropped_partition : int;
+  mutable dropped_loss : int;
+  mutable dropped_no_handler : int;
   mutable bytes : int;
   mutable in_flight : int;
   mutable pool : 'a packet array; (* free packets in [0, pool_len) *)
@@ -53,7 +57,9 @@ let create engine ~nodes ?(latency = Latency.lan) ?(fifo = true)
     cell_of = None;
     sent = 0;
     delivered = 0;
-    dropped = 0;
+    dropped_partition = 0;
+    dropped_loss = 0;
+    dropped_no_handler = 0;
     bytes = 0;
     in_flight = 0;
     pool = [||];
@@ -97,7 +103,7 @@ let deliver t ~src ~dst payload =
       record t ~node:dst ~kind:Trace.Receive ~tag:""
         ~info:(Printf.sprintf "from=%d" src);
     f ~src payload
-  | None -> t.dropped <- t.dropped + 1
+  | None -> t.dropped_no_handler <- t.dropped_no_handler + 1
 
 let release_packet t p =
   if t.pool_len = Array.length t.pool then begin
@@ -164,13 +170,13 @@ let send_copy t ~src ~dst ~size payload =
   t.sent <- t.sent + 1;
   t.bytes <- t.bytes + size;
   if not (reachable t src dst) then begin
-    t.dropped <- t.dropped + 1;
+    t.dropped_partition <- t.dropped_partition + 1;
     if tracing t then
       record t ~node:src ~kind:Trace.Drop ~tag:""
         ~info:(Printf.sprintf "partition dst=%d" dst)
   end
   else if Rng.bernoulli t.rng t.fault.Fault.drop_prob then begin
-    t.dropped <- t.dropped + 1;
+    t.dropped_loss <- t.dropped_loss + 1;
     if tracing t then
       record t ~node:src ~kind:Trace.Drop ~tag:""
         ~info:(Printf.sprintf "loss dst=%d" dst)
@@ -197,6 +203,10 @@ let broadcast t ~src ?(self = true) ?(size = 1) payload =
   done;
   if self then begin
     t.sent <- t.sent + 1;
+    (* The self copy travels the same wire accounting as a remote copy:
+       without the charge, bytes_per_delivery under-reports exactly 1/n
+       of the fan-out (the PR 8 wire-metric skew). *)
+    t.bytes <- t.bytes + size;
     t.in_flight <- t.in_flight + 1;
     (* Local copy: processed at the same virtual instant, after the
        current callback returns. *)
@@ -224,6 +234,10 @@ let partition t cells =
       List.iter
         (fun node ->
           check_node t "partition" node;
+          if cell_of.(node) <> -1 then
+            invalid_arg
+              (Printf.sprintf
+                 "Net.partition: node %d listed in more than one cell" node);
           cell_of.(node) <- idx)
         cell)
     cells;
@@ -244,7 +258,16 @@ let messages_sent t = t.sent
 
 let messages_delivered t = t.delivered
 
-let messages_dropped t = t.dropped
+let messages_dropped t =
+  t.dropped_partition + t.dropped_loss + t.dropped_no_handler
+
+let dropped_by_partition t = t.dropped_partition
+
+let dropped_by_loss t = t.dropped_loss
+
+let dropped_no_handler t = t.dropped_no_handler
+
+let lost_copies t = t.dropped_partition + t.dropped_loss
 
 let bytes_sent t = t.bytes
 

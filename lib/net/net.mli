@@ -41,7 +41,8 @@ val send : 'a t -> src:int -> dst:int -> ?size:int -> 'a -> unit
 val broadcast : 'a t -> src:int -> ?self:bool -> ?size:int -> 'a -> unit
 (** One copy to every node; [self] (default [true]) also delivers to the
     sender — immediately, matching local processing of one's own
-    message. *)
+    message.  The self copy counts in {!messages_sent} {e and}
+    {!bytes_sent}, exactly like a remote copy. *)
 
 val bcast : 'a t -> src:int -> ?self:bool -> size:int -> 'a -> unit
 (** Batched fan-out for pre-encoded frames: the same copy loop as
@@ -57,7 +58,10 @@ val set_fault : 'a t -> Fault.t -> unit
 
 val partition : 'a t -> int list list -> unit
 (** Installs a partition: messages between nodes in different cells are
-    dropped.  Nodes absent from every cell form implicit singletons. *)
+    dropped.  Nodes absent from every cell form implicit singletons.
+    @raise Invalid_argument if a node is listed in more than one cell
+    (including twice in the same cell) — silently letting the last cell
+    win would make a mis-specified nemesis schedule unreproducible. *)
 
 val heal : 'a t -> unit
 (** Removes any partition. *)
@@ -68,6 +72,24 @@ val messages_sent : 'a t -> int
 val messages_delivered : 'a t -> int
 
 val messages_dropped : 'a t -> int
+(** All copies that never reached a handler — the sum of the three
+    per-cause counters below. *)
+
+val dropped_by_partition : 'a t -> int
+(** Copies dropped because source and destination were in different
+    partition cells at send time. *)
+
+val dropped_by_loss : 'a t -> int
+(** Copies removed by injected loss ({!Fault.t}[.drop_prob]). *)
+
+val dropped_no_handler : 'a t -> int
+(** Copies that arrived at a node with no handler installed. *)
+
+val lost_copies : 'a t -> int
+(** Copies that left the wire before arrival: partition + injected loss.
+    [0] means every scheduled copy arrived somewhere, so completeness
+    properties (same-set delivery, release agreement) are checkable;
+    no-handler drops are excluded — the copy did arrive. *)
 
 val bytes_sent : 'a t -> int
 

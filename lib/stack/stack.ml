@@ -59,6 +59,8 @@ type 'a t = {
   net_stats : unit -> int * int * int; (* sent, delivered, in_flight *)
   do_partition : int list list -> unit;
   do_heal : unit -> unit;
+  do_set_fault : Causalb_net.Fault.t -> unit;
+  do_lost : unit -> int; (* copies dropped by partition + injected loss *)
 }
 
 let ordering_name = function
@@ -152,13 +154,15 @@ let compose ?(ordering = Osend) ?(total = Pass) ?(latency = Latency.lan)
     ( (fun () ->
         (Net.messages_sent net, Net.messages_delivered net, Net.in_flight net)),
       (fun cells -> Net.partition net cells),
-      fun () -> Net.heal net )
+      (fun () -> Net.heal net),
+      (fun f -> Net.set_fault net f),
+      fun () -> Net.lost_copies net )
   in
   (* Keep creation order identical to the standalone drivers — net first
      (forks the engine RNG), then the group, then an optional sequencer
      (forks again) — so a stack run consumes the same random stream as the
      pre-stack code on the same seed. *)
-  let impl, (net_stats, do_partition, do_heal) =
+  let impl, (net_stats, do_partition, do_heal, do_set_fault, do_lost) =
     match ordering with
     | Fifo ->
       let net = make_net () in
@@ -229,6 +233,8 @@ let compose ?(ordering = Osend) ?(total = Pass) ?(latency = Latency.lan)
       net_stats;
       do_partition;
       do_heal;
+      do_set_fault;
+      do_lost;
     }
   in
   self := Some t;
@@ -309,6 +315,14 @@ let graph t =
 let partition t cells = t.do_partition cells
 
 let heal t = t.do_heal ()
+
+let set_fault t fault = t.do_set_fault fault
+
+let lost_copies t = t.do_lost ()
+
+let install_nemesis t schedule =
+  Causalb_net.Nemesis.install ~engine:t.engine ~partition:t.do_partition
+    ~heal:t.do_heal ~set_fault:t.do_set_fault schedule
 
 let metrics t =
   let sent, delivered, in_flight = t.net_stats () in

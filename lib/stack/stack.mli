@@ -116,6 +116,19 @@ val partition : 'a t -> int list list -> unit
 
 val heal : 'a t -> unit
 
+val set_fault : 'a t -> Causalb_net.Fault.t -> unit
+(** Swap the injected-fault profile on the underlying network mid-run —
+    the hook nemesis schedules use for timed loss/dup/jitter phases. *)
+
+val lost_copies : 'a t -> int
+(** Copies the transport dropped before arrival (partition + injected
+    loss, see {!Causalb_net.Net.lost_copies}).  [0] iff the run's
+    completeness properties are checkable. *)
+
+val install_nemesis : 'a t -> Causalb_net.Nemesis.t -> unit
+(** Arm a timed fault schedule on the stack's engine, driving this
+    stack's partition/heal/set_fault. *)
+
 val metrics : 'a t -> Metrics.t list
 (** One row per layer, bottom-up: transport, causal, and the total-order
     layer when present.  Counters are summed across members; latency is

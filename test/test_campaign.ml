@@ -1,0 +1,287 @@
+(* The fault campaign and determinism under faults.
+
+   Two layers of guarantees:
+   - same-seed replays under a nemesis schedule (partition/heal plus a
+     loss/dup/jitter phase) are byte-identical and oracle-clean for
+     every shipped composition, plain and framed — faults never make a
+     run less reproducible;
+   - the campaign machinery itself is deterministic (generation, case
+     verdicts, parallel sweeps) and its planted-bug self-test finds and
+     shrinks a known violation. *)
+
+module Engine = Causalb_sim.Engine
+module Latency = Causalb_sim.Latency
+module Trace = Causalb_sim.Trace
+module Net = Causalb_net.Net
+module Fault = Causalb_net.Fault
+module Nemesis = Causalb_net.Nemesis
+module Dep = Causalb_graph.Dep
+module Bss = Causalb_core.Bss
+module Psync = Causalb_core.Psync
+module Group = Causalb_core.Group
+module Fgroup = Causalb_core.Fgroup
+module Codec = Causalb_core.Codec
+module D = Causalb_harness.Drivers
+module C = Causalb_harness.Campaign
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* --- same-seed determinism under faults: the stack driver ----------- *)
+
+(* One partition/heal pair and one injected-fault phase, spanning the
+   middle of a ~20ms workload. *)
+let nemesis_schedule =
+  [
+    { Nemesis.at = 3.0; action = Nemesis.Partition [ [ 0 ]; [ 1; 2 ] ] };
+    { Nemesis.at = 8.0; action = Nemesis.Heal };
+    {
+      Nemesis.at = 12.0;
+      action =
+        Nemesis.Set_fault
+          (Fault.make ~drop_prob:0.3 ~dup_prob:0.2 ~jitter:2.0 ());
+    };
+    { Nemesis.at = 18.0; action = Nemesis.Set_fault Fault.none };
+  ]
+
+let workload = { D.ops = 40; spacing = 0.5; mix = D.Fixed_window 3 }
+
+let all_specs =
+  [
+    D.Fifo_only;
+    D.Bss_stack;
+    D.Psync_stack;
+    D.Osend_stack;
+    D.Osend_merge;
+    D.Osend_counted 4; (* aligned: window 3 closes each count-4 batch *)
+    D.Osend_sequencer;
+  ]
+
+let render tr = Format.asprintf "%a" Trace.pp tr
+
+let faulted_run spec =
+  let r =
+    D.run_stack ~seed:2026 ~check:true ~nemesis:nemesis_schedule ~replicas:3
+      spec workload
+  in
+  let a = Option.get r.D.audit in
+  (render a.D.trace, a.D.diagnostics, r.D.lost, r.D.checks_ok)
+
+let test_stack_replay_identical () =
+  List.iter
+    (fun spec ->
+      let name = D.stack_spec_name spec in
+      let t1, d1, lost1, ok1 = faulted_run spec in
+      let t2, _, lost2, _ = faulted_run spec in
+      check_str (name ^ ": replayed trace byte-identical") t1 t2;
+      check_int (name ^ ": replayed loss identical") lost1 lost2;
+      check (name ^ ": nemesis removed copies") true (lost1 > 0);
+      check (name ^ ": oracle clean under faults") true (d1 = []);
+      check (name ^ ": checks pass (restricted to safety)") true ok1)
+    all_specs
+
+(* --- same-seed determinism under faults: the framed groups ----------- *)
+
+(* The framed engines do not ride the stack driver, so they get their
+   own replay harness: a traced net with the nemesis installed directly
+   ([Nemesis.install_net]), plus the plain sibling group run under the
+   identical seed and schedule — [Net.bcast] makes exactly the draws
+   [Net.broadcast] makes, so delivered tags must agree even mid-fault. *)
+
+let nodes = 3
+
+let ops = 40
+
+let schedule_ops engine f =
+  for i = 0 to ops - 1 do
+    Engine.schedule_at engine ~time:(0.5 *. float_of_int i) (fun () -> f i)
+  done;
+  Engine.run engine
+
+let traced_net seed =
+  let engine = Engine.create ~seed () in
+  let trace = Trace.create () in
+  let net = Net.create engine ~nodes ~latency:Latency.lan ~trace () in
+  Nemesis.install_net net nemesis_schedule;
+  (engine, net, trace)
+
+let bss_framed seed =
+  let engine, net, trace = traced_net seed in
+  let g = Fgroup.Bss.create net ~enc:Codec.put_str ~dec:Codec.get_str () in
+  schedule_ops engine (fun i ->
+      Fgroup.Bss.bcast g ~src:(i mod nodes) ~tag:(Printf.sprintf "t%d" i)
+        (Printf.sprintf "p%d" i));
+  (render trace, List.init nodes (Fgroup.Bss.delivered_tags g))
+
+let bss_plain seed =
+  let engine, net, _ = traced_net seed in
+  let g = Bss.Group.create net () in
+  schedule_ops engine (fun i ->
+      Bss.Group.bcast g ~src:(i mod nodes) ~tag:(Printf.sprintf "t%d" i)
+        (Printf.sprintf "p%d" i));
+  List.init nodes (Bss.Group.delivered_tags g)
+
+let psync_framed seed =
+  let engine, net, trace = traced_net seed in
+  let g = Fgroup.Psync.create net ~enc:Codec.put_str ~dec:Codec.get_str () in
+  schedule_ops engine (fun i ->
+      ignore
+        (Fgroup.Psync.send g ~src:(i mod nodes) ~name:(Printf.sprintf "s%d" i)
+           (Printf.sprintf "p%d" i)));
+  ( render trace,
+    List.map
+      (List.map Causalb_graph.Label.to_string)
+      (Fgroup.Psync.all_delivered_orders g) )
+
+let psync_plain seed =
+  let engine, net, _ = traced_net seed in
+  let g = Psync.create net () in
+  schedule_ops engine (fun i ->
+      ignore
+        (Psync.send g ~src:(i mod nodes) ~name:(Printf.sprintf "s%d" i)
+           (Printf.sprintf "p%d" i)));
+  List.map
+    (List.map Causalb_graph.Label.to_string)
+    (Psync.all_delivered_orders g)
+
+(* A dependency chain through rotating senders: every third message
+   anchors the next two, so partitions genuinely block descendants. *)
+let osend_framed seed =
+  let engine, net, trace = traced_net seed in
+  let g = Fgroup.Osend.create net ~enc:Codec.put_str ~dec:Codec.get_str () in
+  let anchor = ref Dep.null in
+  schedule_ops engine (fun i ->
+      let lbl =
+        Fgroup.Osend.osend g ~src:(i mod nodes)
+          ~name:(Printf.sprintf "m%d" i) ~dep:!anchor
+          (Printf.sprintf "p%d" i)
+      in
+      if i mod 3 = 0 then anchor := Dep.after lbl);
+  ( render trace,
+    List.map
+      (List.map Causalb_graph.Label.to_string)
+      (Fgroup.Osend.all_delivered_orders g) )
+
+let osend_plain seed =
+  let engine, net, _ = traced_net seed in
+  let g = Group.create net () in
+  let anchor = ref Dep.null in
+  schedule_ops engine (fun i ->
+      let lbl =
+        Group.osend g ~src:(i mod nodes) ~name:(Printf.sprintf "m%d" i)
+          ~dep:!anchor
+          (Printf.sprintf "p%d" i)
+      in
+      if i mod 3 = 0 then anchor := Dep.after lbl);
+  List.map
+    (List.map Causalb_graph.Label.to_string)
+    (Group.all_delivered_orders g)
+
+let test_framed_replay_identical () =
+  List.iter
+    (fun seed ->
+      let t1, o1 = bss_framed seed in
+      let t2, o2 = bss_framed seed in
+      check_str "bss framed: replayed trace identical" t1 t2;
+      check "bss framed: replayed orders identical" true (o1 = o2);
+      let t1, o1 = psync_framed seed in
+      let t2, o2 = psync_framed seed in
+      check_str "psync framed: replayed trace identical" t1 t2;
+      check "psync framed: replayed orders identical" true (o1 = o2);
+      let t1, o1 = osend_framed seed in
+      let t2, o2 = osend_framed seed in
+      check_str "osend framed: replayed trace identical" t1 t2;
+      check "osend framed: replayed orders identical" true (o1 = o2))
+    [ 11; 2026 ]
+
+let test_framed_equals_plain_under_faults () =
+  List.iter
+    (fun seed ->
+      let _, framed = bss_framed seed in
+      check "bss framed = plain under nemesis" true (framed = bss_plain seed);
+      let _, framed = psync_framed seed in
+      check "psync framed = plain under nemesis" true
+        (framed = psync_plain seed);
+      let _, framed = osend_framed seed in
+      check "osend framed = plain under nemesis" true
+        (framed = osend_plain seed))
+    [ 11; 2026 ]
+
+(* --- the campaign machinery ----------------------------------------- *)
+
+let test_generation_deterministic () =
+  let a = C.generate ~base_seed:7 ~seeds:21 () in
+  let b = C.generate ~base_seed:7 ~seeds:21 () in
+  check "equal case lists" true (a = b);
+  let specs =
+    List.sort_uniq compare
+      (List.map (fun c -> D.stack_spec_name c.C.spec) a)
+  in
+  check_int "all 7 compositions covered" 7 (List.length specs);
+  let c = C.generate ~base_seed:8 ~seeds:21 () in
+  check "base seed changes the cases" true (a <> c)
+
+let test_run_case_deterministic () =
+  List.iter
+    (fun case ->
+      let v1 = C.run_case case and v2 = C.run_case case in
+      check "verdict replays identically" true (v1 = v2);
+      check ("clean case passes: " ^ C.describe case) true v1.C.ok)
+    (C.generate ~base_seed:3 ~seeds:7 ())
+
+let test_parallel_verdicts_equal_sequential () =
+  let r1 = C.run ~jobs:1 ~base_seed:5 ~seeds:8 () in
+  let r2 = C.run ~jobs:3 ~base_seed:5 ~seeds:8 () in
+  check "j3 verdicts = j1 verdicts" true (r1.C.verdicts = r2.C.verdicts);
+  check "no failures either way" true
+    (C.failures r1 = [] && C.failures r2 = [])
+
+let test_planted_bug_found_and_shrunk () =
+  (* the full self-test: plant, detect, shrink on both axes, replay *)
+  check "self-test" true (C.self_test ~base_seed:42 ~log:(fun _ -> ()) ())
+
+let test_shrink_is_minimal_and_failing () =
+  (* Shrinking a planted failure must return a case that still fails
+     under the same plant, with a 1-minimal nemesis schedule. *)
+  let cases = C.generate ~base_seed:42 ~min_phases:1 ~seeds:7 () in
+  let failing =
+    List.find (fun c -> not (C.run_case ~plant:true c).C.ok) cases
+  in
+  let minimal, attempts = C.shrink ~plant:true failing in
+  check "shrunk case still fails" true
+    (not (C.run_case ~plant:true minimal).C.ok);
+  check "shrinking spent runs" true (attempts > 0);
+  check "ops shrank" true
+    (minimal.C.workload.D.ops <= failing.C.workload.D.ops);
+  (* 1-minimality: removing any surviving nemesis event makes it pass
+     or is indistinguishable — the shrinker already re-verified each
+     removal, so just assert the schedule is no longer than the input *)
+  check "nemesis did not grow" true
+    (List.length minimal.C.nemesis <= List.length failing.C.nemesis)
+
+let () =
+  Alcotest.run "campaign"
+    [
+      ( "replay under faults",
+        [
+          Alcotest.test_case "stack engines" `Quick
+            test_stack_replay_identical;
+          Alcotest.test_case "framed engines" `Quick
+            test_framed_replay_identical;
+          Alcotest.test_case "framed = plain" `Quick
+            test_framed_equals_plain_under_faults;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "generation" `Quick test_generation_deterministic;
+          Alcotest.test_case "case verdicts" `Quick
+            test_run_case_deterministic;
+          Alcotest.test_case "parallel = sequential" `Quick
+            test_parallel_verdicts_equal_sequential;
+          Alcotest.test_case "planted bug" `Quick
+            test_planted_bug_found_and_shrunk;
+          Alcotest.test_case "shrinking" `Quick
+            test_shrink_is_minimal_and_failing;
+        ] );
+    ]

@@ -153,6 +153,67 @@ let test_bytes_accounting () =
   Engine.run e;
   check_int "bytes" 120 (Net.bytes_sent net)
 
+let test_self_broadcast_bytes () =
+  (* Every copy of a self-inclusive broadcast travels the same wire
+     accounting — the sender's own copy included.  4 nodes x size 10 =
+     40 bytes, not 30 (the PR 8 under-report this pins against). *)
+  let e, net = make ~nodes:4 () in
+  for i = 0 to 3 do
+    Net.set_handler net i (fun ~src:_ _ -> ())
+  done;
+  Net.broadcast net ~src:0 ~size:10 ();
+  Engine.run e;
+  check_int "bytes charge the self copy" 40 (Net.bytes_sent net);
+  check_int "all four copies counted sent" 4 (Net.messages_sent net);
+  check_int "all four copies delivered" 4 (Net.messages_delivered net);
+  (* excluding the sender drops exactly one copy's bytes *)
+  let e2, net2 = make ~nodes:4 () in
+  for i = 0 to 3 do
+    Net.set_handler net2 i (fun ~src:_ _ -> ())
+  done;
+  Net.broadcast net2 ~src:0 ~self:false ~size:10 ();
+  Engine.run e2;
+  check_int "no-self bytes" 30 (Net.bytes_sent net2)
+
+let test_partition_duplicate_membership_rejected () =
+  let _, net = make ~nodes:4 () in
+  check "duplicate across cells rejected" true
+    (try
+       Net.partition net [ [ 0; 1 ]; [ 1; 2 ] ];
+       false
+     with Invalid_argument _ -> true);
+  check "duplicate within a cell rejected" true
+    (try
+       Net.partition net [ [ 0; 0 ]; [ 1 ] ];
+       false
+     with Invalid_argument _ -> true);
+  (* the rejected assignments must not have partitioned anything *)
+  let e = Net.engine net in
+  let got = collect net 3 in
+  Net.send net ~src:0 ~dst:3 "still connected";
+  Engine.run e;
+  check "net unchanged after rejection" true
+    (got () = [ (0, "still connected") ])
+
+let test_dropped_by_cause () =
+  (* One drop of each cause; [messages_dropped] stays their sum. *)
+  let e, net = make ~nodes:4 () in
+  Net.set_handler net 1 (fun ~src:_ _ -> ());
+  Net.set_handler net 3 (fun ~src:_ _ -> ());
+  Net.partition net [ [ 0; 1 ]; [ 2; 3 ] ];
+  Net.send net ~src:0 ~dst:3 "partitioned";
+  Net.heal net;
+  Net.send net ~src:0 ~dst:2 "no handler";
+  Net.set_fault net (Fault.make ~drop_prob:1.0 ());
+  Net.send net ~src:0 ~dst:1 "lossy";
+  Engine.run e;
+  check_int "partition drops" 1 (Net.dropped_by_partition net);
+  check_int "injected-loss drops" 1 (Net.dropped_by_loss net);
+  check_int "no-handler drops" 1 (Net.dropped_no_handler net);
+  check_int "sum" 3 (Net.messages_dropped net);
+  (* lost_copies excludes the no-handler case: the copy arrived *)
+  check_int "lost on the wire" 2 (Net.lost_copies net)
+
 let test_jitter_delays () =
   let e, net =
     make ~latency:(Latency.constant 1.0)
@@ -222,16 +283,21 @@ let () =
           Alcotest.test_case "duplicate" `Quick test_dup_fault;
           Alcotest.test_case "partial drop" `Quick test_partial_drop_statistics;
           Alcotest.test_case "jitter" `Quick test_jitter_delays;
+          Alcotest.test_case "drops by cause" `Quick test_dropped_by_cause;
         ] );
       ( "partitions",
         [
           Alcotest.test_case "partition/heal" `Quick test_partition_and_heal;
           Alcotest.test_case "unlisted singleton" `Quick
             test_partition_unlisted_singleton;
+          Alcotest.test_case "duplicate membership" `Quick
+            test_partition_duplicate_membership_rejected;
         ] );
       ( "misc",
         [
           Alcotest.test_case "bytes" `Quick test_bytes_accounting;
+          Alcotest.test_case "self-broadcast bytes" `Quick
+            test_self_broadcast_bytes;
           Alcotest.test_case "invalid args" `Quick test_invalid_args;
           Alcotest.test_case "determinism" `Quick test_determinism_same_seed;
         ] );
