@@ -1,14 +1,14 @@
-(* The BENCH_PR6.json artifact (schema causalb-bench-v3): the v2 shape —
-   before/after hot-path rows with GC allocation columns plus
-   parallel-sweep sections — extended with
+(* The BENCH_PR10.json artifact (schema causalb-bench-v4): the v3 shape —
+   before/after hot-path rows with GC allocation columns, the
+   [wire_bytes_per_unit] column, parallel-sweep sections with [mode] and
+   per-mode measured/modelled speedups — extended with
 
-   - [wire_bytes_per_unit] on rows: for the wire-codec shapes, the frame
-     bytes one delivered copy carries (0 for shapes with no wire);
-   - [mode] on sweeps ("seq" | "fork" | "domains"), so a fork sweep and
-     a domains sweep of the same registry sit side by side;
-   - per-mode measured and modelled speedup fields (the model matches
-     the scheduler: static round-robin for fork, dynamic claiming for
-     domains).
+   - [members]: the member-count sweep comparing the O(n) vector-clock
+     metadata of BSS against the O(1) headers of PC-broadcast, as
+     metadata bytes, ns, and minor-heap words per delivery, at each
+     group size (micro rows exercise one member's receive path; e2e
+     rows run whole framed groups through the simulated transport and
+     read the split byte counters the metrics layer records).
 
    Per-unit normalisation: each row records [units] — how many logical
    operations (delivered messages, received stamps, …) one run of the
@@ -56,6 +56,38 @@ let json_of_row r =
         Json.Num (Float.round (minor_words_saved r *. 1000.0) /. 1000.0) );
       ( "wire_bytes_per_unit",
         Json.Num (Float.round (r.wire_bytes_per_unit *. 100.0) /. 100.0) );
+    ]
+
+(* One row of the member-count sweep: BSS vs PC at a fixed group size,
+   everything normalised per delivery.  [mode] is "micro" (one member's
+   receive path plus the header codec) or "e2e" (whole framed groups
+   over the simulated transport, metadata read from the control/payload
+   split of the metrics layer).  The PR's scaling claim is graded on
+   [bss_meta_bytes] growing with [members] while [pc_meta_bytes] stays
+   flat, with [pc_ns <= bss_ns] at the large sizes. *)
+type member_row = {
+  mode : string; (* "micro" | "e2e" *)
+  members : int;
+  bss_meta_bytes : float; (* metadata bytes per delivery *)
+  pc_meta_bytes : float;
+  bss_ns : float; (* ns per delivery *)
+  pc_ns : float;
+  bss_minor_words : float; (* minor-heap words per delivery *)
+  pc_minor_words : float;
+}
+
+let json_of_member_row m =
+  let round2 x = Float.round (x *. 100.0) /. 100.0 in
+  Json.Obj
+    [
+      ("mode", Json.Str m.mode);
+      ("members", Json.Num (float_of_int m.members));
+      ("bss_meta_bytes_per_delivery", Json.Num (round2 m.bss_meta_bytes));
+      ("pc_meta_bytes_per_delivery", Json.Num (round2 m.pc_meta_bytes));
+      ("bss_ns_per_delivery", Json.Num (Float.round m.bss_ns));
+      ("pc_ns_per_delivery", Json.Num (Float.round m.pc_ns));
+      ("bss_minor_words_per_delivery", Json.Num (round2 m.bss_minor_words));
+      ("pc_minor_words_per_delivery", Json.Num (round2 m.pc_minor_words));
     ]
 
 (* One task of a pool sweep, as reported by Causalb_harness.Pool. *)
@@ -117,7 +149,7 @@ let cores () =
   let n = count_processors "/proc/cpuinfo" in
   if n > 0 then n else 1
 
-let default_path = "BENCH_PR6.json"
+let default_path = "BENCH_PR10.json"
 
 let path () =
   Option.value ~default:default_path (Sys.getenv_opt "CAUSALB_BENCH_OUT")
@@ -147,7 +179,7 @@ let modelled_wall ~mode ~jobs (tasks1 : sweep_task list) =
       tasks1);
   Array.fold_left Float.max 0.0 shard
 
-let write ?(quota_ms = 0) ~rows ~sweeps () =
+let write ?(quota_ms = 0) ?(members = []) ~rows ~sweeps () =
   let sweep_fields =
     match sweeps with
     | [] -> []
@@ -192,18 +224,24 @@ let write ?(quota_ms = 0) ~rows ~sweeps () =
       [ ("sweeps", Json.List (List.map json_of_sweep sweeps)) ]
       @ measured @ modelled
   in
+  let member_fields =
+    match members with
+    | [] -> []
+    | _ -> [ ("members", Json.List (List.map json_of_member_row members)) ]
+  in
   let doc =
     Json.Obj
       ([
-         ("schema", Json.Str "causalb-bench-v3");
+         ("schema", Json.Str "causalb-bench-v4");
          ("bench",
           Json.Str
-            "allocation-lean hot paths + wire codec + parallel sweep");
+            "allocation-lean hot paths + wire codec + parallel sweep + \
+             member-count scaling (BSS O(n) vs PC O(1) metadata)");
          ("quota_ms", Json.Num (float_of_int quota_ms));
          ("cores", Json.Num (float_of_int (cores ())));
          ("rows", Json.List (List.map json_of_row rows));
        ]
-      @ sweep_fields)
+      @ member_fields @ sweep_fields)
   in
   let out = path () in
   let oc = open_out out in

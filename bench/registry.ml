@@ -65,8 +65,8 @@ let all : experiment list =
     mono "micro" ~kind:Timing "bechamel micro-benchmarks of the hot paths"
       Micro.run;
     mono "scaling" ~kind:Timing
-      "before/after scaling + allocation + wire-codec suite (writes \
-       BENCH_PR6.json)"
+      "before/after scaling + allocation + wire-codec + member-count \
+       suite (writes BENCH_PR10.json)"
       Scaling.run;
   ]
 

@@ -41,13 +41,15 @@
      per broadcast, however many recipients).
 
    Results go to a table on stdout and to the cumulative machine-readable
-   artifact (default [BENCH_PR6.json], override with CAUSALB_BENCH_OUT)
+   artifact (default [BENCH_PR10.json], override with CAUSALB_BENCH_OUT)
    via [Bench_out].  Each row is the PR 3 schema {name; n; before_ns;
    after_ns; speedup} plus GC words, a [units] normaliser, and the wire
    bytes one delivered copy carries (0 for non-wire shapes).  The n=64
-   rows double as the no-regression guard for small workloads.
+   rows double as the no-regression guard for small workloads.  The
+   member-count sweep below compares BSS's O(n) causal metadata against
+   PC-broadcast's O(1) headers across group sizes.
    CAUSALB_BENCH_QUOTA_MS shrinks the per-measurement budget for CI smoke
-   runs. *)
+   runs; CAUSALB_BENCH_MEMBERS_MAX caps the member sweep's group sizes. *)
 
 module Label = Causalb_graph.Label
 module Dep = Causalb_graph.Dep
@@ -65,6 +67,9 @@ module Rnet = Causalb_reference.Net
 module Wire = Causalb_util.Wire
 module Json = Causalb_util.Json
 module Codec = Causalb_core.Codec
+module Pcb = Causalb_core.Pcbcast
+module Fgroup = Causalb_core.Fgroup
+module Metrics = Causalb_stackbase.Metrics
 
 let quota_ms =
   match Sys.getenv_opt "CAUSALB_BENCH_QUOTA_MS" with
@@ -363,6 +368,185 @@ let wire_fanout n =
   in
   (before, after, float_of_int delivered, avg_frame_bytes envs)
 
+(* --- member-count sweep (new in PR 10): BSS's O(n) causal metadata vs
+   PC-broadcast's O(1) ---------------------------------------------------
+
+   Micro rows isolate one member's receive path: a founder consumes k
+   in-order messages from one peer.  The BSS side merges an n-entry
+   vector stamp per delivery and its header codec ships the whole
+   vector; the PC side advances one cursor and ships (origin, seq, tag)
+   varints whatever the group size.  Member construction sits inside the
+   timed run (BSS's clock is itself O(n) state), amortised over k
+   deliveries.
+
+   E2e rows run whole framed groups through the simulated transport —
+   full-mesh BSS against PC flooding on a degree-8 overlay — and read
+   metadata bytes from the control/payload split the metrics layer
+   records per copy, so the numbers are the accounting real runs
+   report, not a codec-only estimate.
+
+   CAUSALB_BENCH_MEMBERS_MAX caps the sweep (CI smoke uses a small cap;
+   the committed artifact runs the full 1k/10k/100k micro and 16..1024
+   e2e sizes). *)
+
+let members_max =
+  match Sys.getenv_opt "CAUSALB_BENCH_MEMBERS_MAX" with
+  | Some s -> ( try max 16 (int_of_string s) with _ -> 102_400)
+  | None -> 102_400
+
+let micro_member_sizes =
+  List.filter (fun n -> n <= members_max) [ 1_024; 10_240; 102_400 ]
+
+let e2e_member_sizes =
+  List.filter (fun n -> n <= members_max) [ 16; 64; 256; 1_024 ]
+
+let member_micro n =
+  (* deliveries per run: enough to amortise member construction, capped
+     so the n-wide stamp array stays within memory at n = 100k *)
+  let k = max 16 (min 256 (2_097_152 / n)) in
+  let bss_envs =
+    Array.init k (fun i ->
+        {
+          Bss.sender = 1;
+          stamp =
+            Vc.of_array (Array.init n (fun j -> if j = 1 then i + 1 else 0));
+          tag = "";
+          payload = 0;
+        })
+  in
+  let pc_envs =
+    let sender = Pcb.member ~id:1 ~send:(fun ~dst:_ _ -> ()) () in
+    Array.init k (fun _ -> fst (Pcb.next_envelope sender 0))
+  in
+  let bss () =
+    let m = Bss.member ~id:0 ~group_size:n () in
+    Array.iter (Bss.receive m) bss_envs
+  in
+  let pc () =
+    (* adopt-first baseline: the first copy from origin 1 is seq 0, so
+       every subsequent seq delivers straight through — no peers, no
+       flooding, just the cursor walk *)
+    let m = Pcb.member ~id:0 ~send:(fun ~dst:_ _ -> ()) () in
+    Array.iter (fun e -> Pcb.receive m ~src:1 (Pcb.Env e)) pc_envs
+  in
+  let pool = Wire.pool () in
+  let bss_meta =
+    float_of_int
+      (Wire.length (Codec.encode pool Codec.put_envelope_header bss_envs.(k - 1)))
+  in
+  let pc_meta =
+    float_of_int
+      (Wire.length (Codec.encode pool Codec.put_pc_header pc_envs.(k - 1)))
+  in
+  let b = measure bss in
+  let p = measure pc in
+  let fk = float_of_int k in
+  {
+    Bench_out.mode = "micro";
+    members = n;
+    bss_meta_bytes = bss_meta;
+    pc_meta_bytes = pc_meta;
+    bss_ns = b.ns /. fk;
+    pc_ns = p.ns /. fk;
+    bss_minor_words = b.minor_words /. fk;
+    pc_minor_words = p.minor_words /. fk;
+  }
+
+let member_e2e n =
+  let rounds = 4 in
+  let degree = 8 in
+  let enc = Codec.put_int and dec = Codec.get_int in
+  let bss_run () =
+    let e = Engine.create ~seed:11 () in
+    let net = Net.create e ~nodes:n ~fifo:true () in
+    let g = Fgroup.Bss.create net ~enc ~dec () in
+    for r = 0 to rounds - 1 do
+      Fgroup.Bss.bcast g ~src:(r mod n) r;
+      Engine.run e
+    done;
+    g
+  in
+  let pc_run () =
+    let e = Engine.create ~seed:11 () in
+    let net = Net.create e ~nodes:n ~fifo:true () in
+    let g = Fgroup.Pc.create ~degree net ~enc ~dec () in
+    for r = 0 to rounds - 1 do
+      ignore (Fgroup.Pc.bcast g ~src:(r mod n) r);
+      Engine.run e
+    done;
+    g
+  in
+  (* one instrumented run for the byte/delivery counters, then the timed
+     loop; runs are deterministic, so the two describe the same work *)
+  let split metrics_of =
+    let ctrl = ref 0 and delivered = ref 0 in
+    for i = 0 to n - 1 do
+      let m = metrics_of i in
+      ctrl := !ctrl + m.Metrics.control_bytes;
+      delivered := !delivered + m.Metrics.delivered
+    done;
+    (float_of_int !ctrl /. float_of_int !delivered, float_of_int !delivered)
+  in
+  let bss_meta, bss_delivered =
+    let g = bss_run () in
+    split (Fgroup.Bss.metrics g)
+  in
+  let pc_meta, pc_delivered =
+    let g = pc_run () in
+    split (Fgroup.Pc.metrics g)
+  in
+  let b = measure (fun () -> ignore (bss_run ())) in
+  let p = measure (fun () -> ignore (pc_run ())) in
+  {
+    Bench_out.mode = "e2e";
+    members = n;
+    bss_meta_bytes = bss_meta;
+    pc_meta_bytes = pc_meta;
+    bss_ns = b.ns /. bss_delivered;
+    pc_ns = p.ns /. pc_delivered;
+    bss_minor_words = b.minor_words /. bss_delivered;
+    pc_minor_words = p.minor_words /. pc_delivered;
+  }
+
+let collect_members () =
+  let one make n =
+    let (r : Bench_out.member_row) = make n in
+    Printf.printf
+      "  %-5s n=%-6d meta B/delivery %8.1f vs %5.1f   ns/delivery %9.0f \
+       vs %9.0f\n\
+       %!"
+      r.Bench_out.mode n r.Bench_out.bss_meta_bytes r.Bench_out.pc_meta_bytes
+      r.Bench_out.bss_ns r.Bench_out.pc_ns;
+    r
+  in
+  List.map (one member_micro) micro_member_sizes
+  @ List.map (one member_e2e) e2e_member_sizes
+
+let print_members_table rows =
+  let t =
+    Causalb_util.Table.create
+      ~title:
+        "member-count scaling (BSS O(n) vs PC O(1), per delivered message)"
+      ~columns:
+        [ "mode"; "members"; "bss meta B"; "pc meta B"; "bss ns"; "pc ns";
+          "bss minor w"; "pc minor w" ]
+  in
+  List.iter
+    (fun (r : Bench_out.member_row) ->
+      Causalb_util.Table.add_row t
+        [
+          r.mode;
+          string_of_int r.members;
+          Causalb_util.Table.fmt_float ~digits:1 r.bss_meta_bytes;
+          Causalb_util.Table.fmt_float ~digits:1 r.pc_meta_bytes;
+          Causalb_util.Table.fmt_float ~digits:0 r.bss_ns;
+          Causalb_util.Table.fmt_float ~digits:0 r.pc_ns;
+          Causalb_util.Table.fmt_float ~digits:1 r.bss_minor_words;
+          Causalb_util.Table.fmt_float ~digits:1 r.pc_minor_words;
+        ])
+    rows;
+  Causalb_util.Table.print t
+
 let shapes =
   [
     ("osend.chain", osend_chain);
@@ -446,5 +630,10 @@ let run () =
      ================";
   let rows = collect () in
   print_table rows;
-  let out = Bench_out.write ~quota_ms ~rows ~sweeps:[] () in
+  print_endline
+    "\n================ member-count scaling: BSS O(n) vs PC O(1) \
+     ================";
+  let members = collect_members () in
+  print_members_table members;
+  let out = Bench_out.write ~quota_ms ~members ~rows ~sweeps:[] () in
   Printf.printf "wrote %s\n%!" out

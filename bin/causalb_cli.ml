@@ -638,6 +638,11 @@ let bench_run jobs domains list seed =
        ================";
     let rows = Causalb_bench.Scaling.collect () in
     Causalb_bench.Scaling.print_table rows;
+    print_endline
+      "================ member-count scaling: BSS O(n) vs PC O(1) \
+       ================";
+    let members = Causalb_bench.Scaling.collect_members () in
+    Causalb_bench.Scaling.print_members_table members;
     (* 2. the deterministic sweep, timed sequentially, then (if asked) on
        forked workers (-j) and/or worker domains (-J); every parallel
        run must reproduce the sequential bytes *)
@@ -691,7 +696,7 @@ let bench_run jobs domains list seed =
     in
     let out =
       Causalb_bench.Bench_out.write
-        ~quota_ms:Causalb_bench.Scaling.quota_ms ~rows ~sweeps ()
+        ~quota_ms:Causalb_bench.Scaling.quota_ms ~members ~rows ~sweeps ()
     in
     Printf.printf "sweep wall: j=1 %.0f ms%s%s\nwrote %s\n%!"
       o1.report.wall_ms
@@ -720,12 +725,12 @@ let bench_run jobs domains list seed =
 
 module Campaign = Causalb_harness.Campaign
 
-let hunt seed jobs domains seeds buggify json self_test =
+let hunt seed jobs domains seeds buggify churn json self_test =
   if self_test then
     if Campaign.self_test ~base_seed:seed () then 0 else 1
   else begin
     let r =
-      Campaign.run ~jobs ~domains ~base_seed:seed ~buggify ~seeds ()
+      Campaign.run ~jobs ~domains ~base_seed:seed ~buggify ~churn ~seeds ()
     in
     Campaign.print_report ~json r;
     Printf.eprintf "# hunt: %d case(s), %d job(s), %.0f ms wall\n"
@@ -737,12 +742,19 @@ let hunt_cmd =
   let seeds =
     Arg.(value & opt int 64 & info [ "seeds" ] ~docv:"N"
            ~doc:"Cases to generate and run (compositions cycle, so any \
-                 N >= 7 covers every shipped stack).")
+                 N >= 8 covers every shipped stack).")
   in
   let buggify =
     Arg.(value & flag & info [ "buggify" ]
            ~doc:"Aggressive mode: more fault phases, higher loss and \
                  duplication probabilities, three-way partitions.")
+  in
+  let churn =
+    Arg.(value & flag & info [ "churn" ]
+           ~doc:"Membership campaign: every case runs the PC-broadcast \
+                 stack with 1-3 timed join/leave events appended to the \
+                 fault schedule, audited by the founders-scoped churn \
+                 oracle.")
   in
   let json =
     Arg.(value & flag & info [ "json" ]
@@ -762,7 +774,7 @@ let hunt_cmd =
              cases over every stack composition, oracle-checked, with \
              failures shrunk to minimal deterministic repros")
     Term.(const hunt $ seed $ jobs_arg $ domains_arg $ seeds $ buggify
-          $ json $ self_test)
+          $ churn $ json $ self_test)
 
 let bench_cmd =
   Cmd.v

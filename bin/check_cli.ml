@@ -36,6 +36,7 @@ let all_specs ops =
     Drivers.Osend_merge;
     Drivers.Osend_counted (ops + 1);
     Drivers.Osend_sequencer;
+    Drivers.Pc_stack;
   ]
 
 let spec_of_string ops s =
@@ -47,14 +48,17 @@ let spec_of_string ops s =
   | "merge" | "osend+merge" -> Ok Drivers.Osend_merge
   | "counted" | "osend+counted" -> Ok (Drivers.Osend_counted (ops + 1))
   | "sequencer" | "osend+sequencer" -> Ok Drivers.Osend_sequencer
+  | "pc" -> Ok Drivers.Pc_stack
   | _ ->
     Error
       (Printf.sprintf
-         "unknown composition %S (expected fifo|bss|psync|osend|merge|counted|sequencer)"
+         "unknown composition %S (expected \
+          fifo|bss|psync|osend|merge|counted|sequencer|pc)"
          s)
 
 let checkers_for = function
   | Drivers.Fifo_only | Drivers.Bss_stack -> "fifo, same-set"
+  | Drivers.Pc_stack -> "fifo, causal, same-set"
   | Drivers.Psync_stack -> "causal, same-set"
   | Drivers.Osend_stack -> "causal, windows, stable"
   | Drivers.Osend_merge | Drivers.Osend_counted _ | Drivers.Osend_sequencer ->
@@ -348,7 +352,7 @@ let objects_flag =
 let spec_args =
   let doc =
     "Composition(s) to audit: fifo, bss, psync, osend, merge, counted, \
-     sequencer.  Repeatable; default all."
+     sequencer, pc.  Repeatable; default all."
   in
   Arg.(value & opt_all string [] & info [ "spec" ] ~docv:"SPEC" ~doc)
 

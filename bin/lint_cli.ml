@@ -44,6 +44,7 @@ let all_specs ops =
     Drivers.Osend_merge;
     Drivers.Osend_counted (ops + 1);
     Drivers.Osend_sequencer;
+    Drivers.Pc_stack;
   ]
 
 let spec_of_string ops s =
@@ -55,11 +56,12 @@ let spec_of_string ops s =
   | "merge" | "osend+merge" -> Ok Drivers.Osend_merge
   | "counted" | "osend+counted" -> Ok (Drivers.Osend_counted (ops + 1))
   | "sequencer" | "osend+sequencer" -> Ok Drivers.Osend_sequencer
+  | "pc" -> Ok Drivers.Pc_stack
   | _ ->
     Error
       (Printf.sprintf
          "unknown composition %S (expected \
-          fifo|bss|psync|osend|merge|counted|sequencer)"
+          fifo|bss|psync|osend|merge|counted|sequencer|pc)"
          s)
 
 let emit_diags ~json ds =
@@ -416,7 +418,7 @@ let self_test_flag =
 let spec_args =
   let doc =
     "Composition(s) to verify: fifo, bss, psync, osend, merge, counted, \
-     sequencer.  Repeatable; default all."
+     sequencer, pc.  Repeatable; default all."
   in
   Arg.(value & opt_all string [] & info [ "spec" ] ~docv:"SPEC" ~doc)
 

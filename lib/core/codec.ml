@@ -104,10 +104,13 @@ let get_dep r =
 
 (* --- messages (OSend/Psync traffic) --- *)
 
-let put_message put_payload w m =
+let put_message_header w m =
   put_label w (Message.label m);
   Wire.uint w (Message.sender m);
-  put_dep w (Message.dep m);
+  put_dep w (Message.dep m)
+
+let put_message put_payload w m =
+  put_message_header w m;
   put_payload w (Message.payload m)
 
 let get_message get_payload r =
@@ -119,10 +122,16 @@ let get_message get_payload r =
 
 (* --- BSS envelopes --- *)
 
-let put_envelope put_payload w (e : 'a Bss.envelope) =
+(* Every envelope codec here puts the application payload last, so one
+   writer mark ([Wire.written]) before it splits the frame into control
+   and payload spans — see [encode_split]. *)
+let put_envelope_header w (e : 'a Bss.envelope) =
   Wire.uint w e.Bss.sender;
   put_clock w e.Bss.stamp;
-  Wire.str w e.Bss.tag;
+  Wire.str w e.Bss.tag
+
+let put_envelope put_payload w (e : 'a Bss.envelope) =
+  put_envelope_header w e;
   put_payload w e.Bss.payload
 
 let get_envelope get_payload r =
@@ -132,12 +141,99 @@ let get_envelope get_payload r =
   let payload = get_payload r in
   { Bss.sender; stamp; tag; payload }
 
+(* --- PC-broadcast wire values --- *)
+
+(* The whole point: the header is two varints plus the tag, independent
+   of group size.  One leading byte discriminates the wire cases; the
+   App payload (and only it) counts as payload bytes. *)
+let put_pc_header w (e : 'a Pcbcast.envelope) =
+  Wire.uint w e.Pcbcast.origin;
+  Wire.uint w e.Pcbcast.seq;
+  Wire.str w e.Pcbcast.tag
+
+let put_pc put_payload w = function
+  | Pcbcast.Lock -> Wire.u8 w 0
+  | Pcbcast.Env e -> (
+    match e.Pcbcast.body with
+    | Pcbcast.App p ->
+      Wire.u8 w 1;
+      put_pc_header w e;
+      put_payload w p
+    | Pcbcast.Ctrl (Pcbcast.Unlock { target }) ->
+      Wire.u8 w 2;
+      put_pc_header w e;
+      Wire.uint w target
+    | Pcbcast.Ctrl (Pcbcast.Joined { node }) ->
+      Wire.u8 w 3;
+      put_pc_header w e;
+      Wire.uint w node)
+
+let get_pc get_payload r =
+  let env body =
+    let origin = Wire.r_uint r in
+    let seq = Wire.r_uint r in
+    let tag = Wire.r_str r in
+    let body = body () in
+    Pcbcast.Env { Pcbcast.origin; seq; tag; body }
+  in
+  match Wire.r_u8 r with
+  | 0 -> Pcbcast.Lock
+  | 1 -> env (fun () -> Pcbcast.App (get_payload r))
+  | 2 ->
+    env (fun () ->
+        Pcbcast.Ctrl (Pcbcast.Unlock { target = Wire.r_uint r }))
+  | 3 ->
+    env (fun () -> Pcbcast.Ctrl (Pcbcast.Joined { node = Wire.r_uint r }))
+  | tag -> raise (Wire.Corrupt (Printf.sprintf "bad pc wire tag %d" tag))
+
 (* --- whole-frame helpers --- *)
 
 let encode pool enc v =
   let w = Wire.writer pool in
   enc w v;
   Wire.finish w
+
+(* Encode with the control/payload boundary measured: [header] writes
+   everything up to the payload, [payload] the rest.  Returns the frame
+   and the payload's encoded span; control bytes are the difference. *)
+let encode_split pool ~header ~payload v =
+  let w = Wire.writer pool in
+  header w v;
+  let mark = Wire.written w in
+  payload w v;
+  let span = Wire.written w - mark in
+  (Wire.finish w, span)
+
+(* [put_pc] with the payload span measured in the same pass — only App
+   envelopes carry payload bytes; every other wire case is pure
+   control. *)
+let encode_pc pool put_payload wv =
+  let w = Wire.writer pool in
+  let span =
+    match wv with
+    | Pcbcast.Lock ->
+      Wire.u8 w 0;
+      0
+    | Pcbcast.Env e -> (
+      match e.Pcbcast.body with
+      | Pcbcast.App p ->
+        Wire.u8 w 1;
+        put_pc_header w e;
+        let mark = Wire.written w in
+        put_payload w p;
+        Wire.written w - mark
+      | Pcbcast.Ctrl (Pcbcast.Unlock { target }) ->
+        Wire.u8 w 2;
+        put_pc_header w e;
+        Wire.uint w target;
+        0
+      | Pcbcast.Ctrl (Pcbcast.Joined { node }) ->
+        Wire.u8 w 3;
+        put_pc_header w e;
+        Wire.uint w node;
+        0)
+  in
+  (Wire.finish w, span)
 
 let decode dec frame =
   let r = Wire.reader frame in
@@ -147,9 +243,16 @@ let decode dec frame =
 
 (* --- shared decoded views --- *)
 
-type 'a framed = { frame : Wire.frame; mutable view : 'a option }
+type 'a framed = {
+  frame : Wire.frame;
+  payload_bytes : int option;
+      (* encoded span of the application payload within [frame]
+         ([encode_split]); [None] when the producer did not measure —
+         the charge then lands unsplit *)
+  mutable view : 'a option;
+}
 
-let framed frame = { frame; view = None }
+let framed ?payload_bytes frame = { frame; payload_bytes; view = None }
 
 let view fr ~dec =
   match fr.view with

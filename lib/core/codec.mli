@@ -57,14 +57,47 @@ val put_message : 'a enc -> 'a Message.t enc
 
 val get_message : 'a dec -> 'a Message.t dec
 
+val put_message_header : 'a Message.t enc
+(** Label, sender and dependency predicate — the control span of an
+    OSend/Psync frame ([put_message] is this followed by the payload). *)
+
 val put_envelope : 'a enc -> 'a Bss.envelope enc
 
 val get_envelope : 'a dec -> 'a Bss.envelope dec
+
+val put_envelope_header : 'a Bss.envelope enc
+(** Everything but the payload (sender, stamp, tag) — the control span
+    of a BSS frame, O(n) because of the stamp.  [put_envelope] is this
+    followed by the payload; pair them through {!encode_split}. *)
+
+val put_pc : 'a enc -> 'a Pcbcast.wire enc
+(** PC-broadcast wire codec: one discriminator byte, then the
+    constant-size header (origin and seq varints, tag) and the case's
+    body.  Control frames ([Lock], barriers, joins) are all control
+    bytes. *)
+
+val get_pc : 'a dec -> 'a Pcbcast.wire dec
+
+val put_pc_header : 'a Pcbcast.envelope enc
+(** The constant-size control span of an envelope (origin, seq, tag) —
+    what the scaling sweep measures against [put_envelope_header]. *)
 
 (** {1 Whole frames} *)
 
 val encode : Wire.pool -> 'a enc -> 'a -> Wire.frame
 (** One pooled writer, one sealed frame. *)
+
+val encode_pc : Wire.pool -> 'a enc -> 'a Pcbcast.wire -> Wire.frame * int
+(** {!put_pc} with the App payload span measured in the same pass —
+    returns [(frame, payload_bytes)]; control frames measure 0. *)
+
+val encode_split :
+  Wire.pool -> header:'a enc -> payload:'a enc -> 'a -> Wire.frame * int
+(** Encode [header] then [payload] into one frame, measuring the
+    payload's encoded span with a writer mark — no second encode.
+    Returns the frame and the payload byte count; the control share is
+    [Wire.length frame - span].  Feed the span to {!framed} so
+    receivers can charge {!Causalb_stackbase.Metrics.on_wire_split}. *)
 
 val decode : 'a dec -> Wire.frame -> 'a
 (** Decode a whole frame; raises [Wire.Corrupt] on trailing bytes. *)
@@ -77,9 +110,16 @@ val decode : 'a dec -> Wire.frame -> 'a
     allocation, matching the in-memory sharing the plain groups already
     rely on (stamps are documented read-only). *)
 
-type 'a framed = { frame : Wire.frame; mutable view : 'a option }
+type 'a framed = {
+  frame : Wire.frame;
+  payload_bytes : int option;
+      (** encoded span of the application payload within [frame], from
+          {!encode_split}; [None] when unmeasured, in which case byte
+          charges stay unsplit *)
+  mutable view : 'a option;
+}
 
-val framed : Wire.frame -> 'a framed
+val framed : ?payload_bytes:int -> Wire.frame -> 'a framed
 
 val view : 'a framed -> dec:'a dec -> 'a
 (** The decoded value, decoding (and memoizing) on first use. *)

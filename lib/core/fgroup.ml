@@ -30,10 +30,20 @@ module Dep = Causalb_graph.Dep
 module Metrics = Causalb_stackbase.Metrics
 module Sgroup = Causalb_stackbase.Sgroup
 module Wire = Causalb_util.Wire
+module Depgraph = Causalb_graph.Depgraph
 module B = Bss
 module O = Osend
+module P = Pcbcast
 
-let charge metrics fr = Metrics.on_wire metrics (Wire.length fr.Codec.frame)
+(* Per-copy byte charge, split into control/payload when the producer
+   measured the boundary ([Codec.encode_split]); the sum always lands in
+   [wire_bytes] either way. *)
+let charge metrics fr =
+  let len = Wire.length fr.Codec.frame in
+  match fr.Codec.payload_bytes with
+  | None -> Metrics.on_wire metrics len
+  | Some payload ->
+    Metrics.on_wire_split metrics ~control:(len - payload) ~payload
 
 (* --- framed BSS: vector-stamped causal broadcast over frames --- *)
 
@@ -41,7 +51,7 @@ module Bss = struct
   type 'a t = {
     sg : ('a B.member, 'a B.envelope Codec.framed) Sgroup.t;
     pool : Wire.pool;
-    put : 'a B.envelope Codec.enc;
+    put_payload : 'a B.envelope Codec.enc;
   }
 
   let create net ~enc ~dec ?(on_deliver = fun ~node:_ ~time:_ _ -> ()) () =
@@ -57,7 +67,9 @@ module Bss = struct
           charge (B.metrics m) fr;
           B.receive m (Codec.view fr ~dec:get))
     in
-    { sg; pool = Wire.pool (); put = Codec.put_envelope enc }
+    { sg;
+      pool = Wire.pool ();
+      put_payload = (fun w e -> enc w e.B.payload) }
 
   let size t = Sgroup.size t.sg
 
@@ -65,9 +77,12 @@ module Bss = struct
 
   let bcast t ~src ?tag payload =
     let e = B.next_envelope (Sgroup.member t.sg src) ?tag payload in
-    let frame = Codec.encode t.pool t.put e in
+    let frame, span =
+      Codec.encode_split t.pool ~header:Codec.put_envelope_header
+        ~payload:t.put_payload e
+    in
     Net.bcast (Sgroup.net t.sg) ~src ~size:(Wire.length frame)
-      (Codec.framed frame)
+      (Codec.framed ~payload_bytes:span frame)
 
   let delivered_tags t i = B.delivered_tags (Sgroup.member t.sg i)
 
@@ -84,7 +99,7 @@ module Osend = struct
     sg : ('a O.t, 'a Message.t Codec.framed) Sgroup.t;
     seqs : int array;
     pool : Wire.pool;
-    put : 'a Message.t Codec.enc;
+    put_payload : 'a Message.t Codec.enc;
   }
 
   let create net ~enc ~dec ?(on_deliver = fun ~node:_ ~time:_ _ -> ()) () =
@@ -100,7 +115,7 @@ module Osend = struct
           O.receive m (Codec.view fr ~dec:get))
     in
     { sg; seqs = Array.make (Net.nodes net) 0; pool = Wire.pool ();
-      put = Codec.put_message enc }
+      put_payload = (fun w m -> enc w (Message.payload m)) }
 
   let size t = Sgroup.size t.sg
 
@@ -111,12 +126,15 @@ module Osend = struct
     t.seqs.(src) <- seq + 1;
     let label = Label.make ?name ~origin:src ~seq () in
     let msg = Message.make ~label ~sender:src ~dep payload in
-    let frame = Codec.encode t.pool t.put msg in
+    let frame, span =
+      Codec.encode_split t.pool ~header:Codec.put_message_header
+        ~payload:t.put_payload msg
+    in
     (* self copy rides the frame too (plain Group broadcasts with
        [self = true]): the sender decodes its own stamp back, proving
        the codec on every delivered message, not just remote ones *)
     Net.bcast (Sgroup.net t.sg) ~src ~size:(Wire.length frame)
-      (Codec.framed frame);
+      (Codec.framed ~payload_bytes:span frame);
     label
 
   let delivered_order t i = O.delivered_order (Sgroup.member t.sg i)
@@ -143,7 +161,7 @@ module Psync = struct
     sg : ('a member, 'a Message.t Codec.framed) Sgroup.t;
     seqs : int array;
     pool : Wire.pool;
-    put : 'a Message.t Codec.enc;
+    put_payload : 'a Message.t Codec.enc;
   }
 
   (* Identical context rule to the plain Psync: leaves of *received*
@@ -171,7 +189,7 @@ module Psync = struct
           O.receive m.engine_member msg)
     in
     { sg; seqs = Array.make (Net.nodes net) 0; pool = Wire.pool ();
-      put = Codec.put_message enc }
+      put_payload = (fun w m -> enc w (Message.payload m)) }
 
   let size t = Sgroup.size t.sg
 
@@ -190,9 +208,12 @@ module Psync = struct
        does); only the remote copies ride the frame *)
     note_received m msg;
     O.receive m.engine_member msg;
-    let frame = Codec.encode t.pool t.put msg in
+    let frame, span =
+      Codec.encode_split t.pool ~header:Codec.put_message_header
+        ~payload:t.put_payload msg
+    in
     Net.bcast (Sgroup.net t.sg) ~src ~self:false ~size:(Wire.length frame)
-      (Codec.framed frame);
+      (Codec.framed ~payload_bytes:span frame);
     label
 
   let delivered_order t i = O.delivered_order (member t i)
@@ -206,4 +227,78 @@ module Psync = struct
     Sgroup.fold
       (fun acc m -> acc + (O.metrics m.engine_member).Metrics.wire_bytes)
       0 t.sg
+end
+
+(* --- framed PC-broadcast: constant-size headers over frames --- *)
+
+(* The scaling story end to end: a broadcast encodes once (two varints
+   of header, whatever the group size), every hop of the flood re-emits
+   the *same* physical frame (the [~emit] closure in receive), and each
+   recipient charges its control/payload split from the span the sender
+   measured.  Static overlays only — the churn path runs on the plain
+   [Pcbcast.Group]; here the membership is fixed so the per-send
+   fallback encoder in [send] only ever carries establishment-free
+   traffic (no [Lock]s fly on a static group). *)
+module Pc = struct
+  type 'a t = {
+    sg : ('a P.member, 'a P.wire Codec.framed) Sgroup.t;
+    pool : Wire.pool;
+    enc : 'a Codec.enc;
+    graph : Depgraph.t;
+  }
+
+  let create ?degree net ~enc ~dec
+      ?(on_deliver = fun ~node:_ ~time:_ _ -> ()) () =
+    let n = Net.nodes net in
+    let engine = Net.engine net in
+    let get = Codec.get_pc dec in
+    let graph = Depgraph.create () in
+    let pool = Wire.pool () in
+    let sg =
+      Sgroup.create_routed net
+        ~member:(fun node ->
+          let deliver e = on_deliver ~node ~time:(Engine.now engine) e in
+          (* fallback path: anything not riding a shared frame (control
+             traffic, emit-less re-sends) encodes per send *)
+          let send ~dst w =
+            let frame, span = Codec.encode_pc pool enc w in
+            Net.send net ~src:node ~dst ~size:(Wire.length frame)
+              (Codec.framed ~payload_bytes:span frame)
+          in
+          P.member ~id:node ~send ~deliver ~graph ())
+        ~receive:(fun m ~src fr ->
+          charge (P.metrics m) fr;
+          (* flooding forwards this exact physical frame: no re-encode,
+             and downstream recipients share the memoized view too *)
+          let emit ~dst =
+            Net.send net ~src:(P.member_id m) ~dst
+              ~size:(Wire.length fr.Codec.frame) fr
+          in
+          P.receive m ~src ~emit (Codec.view fr ~dec:get))
+    in
+    Array.iter (fun m -> P.init_static m ~n ~degree) (Sgroup.members sg);
+    { sg; pool; enc; graph }
+
+  let size t = Sgroup.size t.sg
+
+  let member t i = Sgroup.member t.sg i
+
+  let graph t = t.graph
+
+  let bcast t ~src ?tag payload =
+    let m = Sgroup.member t.sg src in
+    let e, label = P.next_envelope m ?tag payload in
+    let frame, span = Codec.encode_pc t.pool t.enc (P.Env e) in
+    let fr = Codec.framed ~payload_bytes:span frame in
+    let net = Sgroup.net t.sg in
+    let size = Wire.length frame in
+    P.publish m e ~emit:(fun ~dst -> Net.send net ~src ~dst ~size fr);
+    label
+
+  let delivered_tags t i = P.delivered_tags (Sgroup.member t.sg i)
+
+  let metrics t i = P.metrics (Sgroup.member t.sg i)
+
+  let wire_bytes t =
+    Sgroup.fold (fun acc m -> acc + (P.metrics m).Metrics.wire_bytes) 0 t.sg
 end

@@ -23,6 +23,7 @@
 module Wire := Causalb_util.Wire
 module B := Bss
 module O := Osend
+module P := Pcbcast
 
 (** Framed Birman–Schiper–Stephenson broadcast (vector stamps). *)
 module Bss : sig
@@ -110,6 +111,49 @@ module Psync : sig
   val delivered_order : 'a t -> int -> Causalb_graph.Label.t list
 
   val all_delivered_orders : 'a t -> Causalb_graph.Label.t list list
+
+  val metrics : 'a t -> int -> Causalb_stackbase.Metrics.t
+
+  val wire_bytes : 'a t -> int
+end
+
+(** Framed PC-broadcast (constant-size headers, flooding overlay).
+
+    The O(1)-metadata counterpart to {!Bss}: a broadcast encodes once —
+    two varints of control header regardless of group size — and every
+    hop of the flood re-emits the {e same} physical frame, so recipients
+    decode a shared view and charge the control/payload split the sender
+    measured ([Metrics.control_bytes_per_delivery] is the §6.1 number
+    the scaling bench plots against BSS's O(n) stamps).  Static
+    membership only; churn runs on the plain [Pcbcast.Group].  The
+    network must be FIFO ([Net.create ~fifo:true]). *)
+module Pc : sig
+  type 'a t
+
+  val create :
+    ?degree:int ->
+    'a P.wire Codec.framed Causalb_net.Net.t ->
+    enc:'a Codec.enc ->
+    dec:'a Codec.dec ->
+    ?on_deliver:(node:int -> time:float -> 'a P.envelope -> unit) ->
+    unit ->
+    'a t
+  (** [degree] selects the sparse overlay ({!P.peers_for}); default is
+      the full mesh. *)
+
+  val size : 'a t -> int
+
+  val member : 'a t -> int -> 'a P.member
+
+  val graph : 'a t -> Causalb_graph.Depgraph.t
+  (** The extracted R(M) shared by all members — what [causalb-check]
+      verifies the delivered orders against. *)
+
+  val bcast : 'a t -> src:int -> ?tag:string -> 'a -> Causalb_graph.Label.t
+  (** Stamp ({!P.next_envelope}), encode once ({!Codec.encode_pc}),
+      flood the shared frame and deliver locally ({!P.publish}). *)
+
+  val delivered_tags : 'a t -> int -> string list
 
   val metrics : 'a t -> int -> Causalb_stackbase.Metrics.t
 

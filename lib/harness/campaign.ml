@@ -46,6 +46,7 @@ let specs =
     D.Osend_merge;
     D.Osend_counted 4;
     D.Osend_sequencer;
+    D.Pc_stack;
   |]
 
 let mix_tag (w : D.workload) =
@@ -102,11 +103,26 @@ let gen_phase rng ~buggify ~replicas ~makespan =
     ]
   end
 
-let gen_case ~base_seed ~buggify ~min_phases id =
+(* One membership event for a churn case.  Joins name a founding
+   contact ([Drivers.run_pc] re-routes through the oldest survivor if
+   that contact already left); leaves name a founder other than node 0,
+   matching the guards the driver's leave hook enforces — so every
+   subset of a generated schedule stays well-formed, which is what lets
+   the shrinker drop churn events freely. *)
+let gen_churn_event rng ~replicas ~makespan =
+  let at = Rng.float rng (makespan *. 0.9) in
+  let action =
+    if Rng.bool rng then Nemesis.Join { contact = Rng.int rng replicas }
+    else Nemesis.Leave (1 + Rng.int rng (replicas - 1))
+  in
+  { Nemesis.at; action }
+
+let gen_case ~base_seed ~buggify ~min_phases ~churn id =
   let name = Printf.sprintf "hunt-%d" id in
   let seed = Pool.seed_for ~base:base_seed name in
   let rng = Rng.create seed in
-  let spec = specs.(id mod Array.length specs) in
+  (* churn campaigns run the one composition with dynamic membership *)
+  let spec = if churn then D.Pc_stack else specs.(id mod Array.length specs) in
   let replicas = 3 + Rng.int rng 3 in
   let ops = 20 + Rng.int rng 41 in
   let spacing = [| 0.3; 0.5; 0.8 |].(Rng.int rng 3) in
@@ -137,11 +153,18 @@ let gen_case ~base_seed ~buggify ~min_phases id =
   let nemesis =
     List.concat
       (List.init phases (fun _ -> gen_phase rng ~buggify ~replicas ~makespan))
+    @
+    if churn then
+      List.init
+        (1 + Rng.int rng 3)
+        (fun _ -> gen_churn_event rng ~replicas ~makespan)
+    else []
   in
   { id; name; seed; spec; replicas; workload; nemesis }
 
-let generate ?(base_seed = 42) ?(buggify = false) ?(min_phases = 0) ~seeds () =
-  List.init seeds (gen_case ~base_seed ~buggify ~min_phases)
+let generate ?(base_seed = 42) ?(buggify = false) ?(min_phases = 0)
+    ?(churn = false) ~seeds () =
+  List.init seeds (gen_case ~base_seed ~buggify ~min_phases ~churn)
 
 (* --- running one case --- *)
 
@@ -153,7 +176,7 @@ let dedup xs =
    campaign's oracle plumbing actually rejects bad orderings, end to
    end, on the very traces it hunts over.  A case whose trace has no
    mutation site (too few dependent deliveries) passes. *)
-let run_case ?(plant = false) (c : case) =
+let run_case_stack ?(plant = false) (c : case) =
   let r =
     D.run_stack ~seed:c.seed ~check:true ~nemesis:c.nemesis
       ~replicas:c.replicas c.spec c.workload
@@ -187,6 +210,44 @@ let run_case ?(plant = false) (c : case) =
     violation =
       (match diags with d :: _ -> Some (Diag.to_string d) | [] -> None);
   }
+
+(* A schedule with membership events runs the PC-broadcast churn driver
+   instead, audited by the same gate the driver applies to itself
+   ([Drivers.recheck_pc]).  The planted inversion is spliced into the
+   founders' view — the portion of the trace the causal pass actually
+   audits — so a mutation landing on a joiner can't silently pass.
+   [lost] reports departure drops too (they are copies the nemesis
+   removed from the wire); the causal gate counts only partition/loss. *)
+let run_case_pc ?(plant = false) (c : case) =
+  let r =
+    D.run_pc ~seed:c.seed ~nemesis:c.nemesis ~replicas:c.replicas c.workload
+  in
+  let diags =
+    if not plant then r.D.pc_diagnostics
+    else
+      let view = D.founders_view r.D.pc_trace ~founders:c.replicas in
+      match Mutate.reorder_causal ~graph:r.D.pc_graph view with
+      | None -> r.D.pc_diagnostics
+      | Some (mutated, _, _) ->
+        D.recheck_pc ~replicas:c.replicas ~lost:r.D.pc_lost
+          ~graph:r.D.pc_graph mutated
+  in
+  {
+    case = c;
+    ok = r.D.pc_checks_ok && diags = [];
+    lost = r.D.pc_lost + r.D.pc_departure_drops;
+    messages = r.D.pc_messages;
+    checks = dedup (List.map (fun d -> d.Diag.check) diags);
+    violation =
+      (match diags with d :: _ -> Some (Diag.to_string d) | [] -> None);
+  }
+
+(* Dispatch is per-case-value, not per-campaign: a shrinker candidate
+   whose churn events were all removed is an ordinary static case and
+   runs (validly) through the stack driver. *)
+let run_case ?plant (c : case) =
+  if Nemesis.has_churn c.nemesis then run_case_pc ?plant c
+  else run_case_stack ?plant c
 
 (* --- shrinking --- *)
 
@@ -302,8 +363,8 @@ let failures r = List.filter (fun v -> not v.ok) r.verdicts
 (* --- the parallel sweep --- *)
 
 let run ?(jobs = 1) ?(domains = 0) ?(base_seed = 42) ?(buggify = false)
-    ?(plant = false) ~seeds () =
-  let cases = generate ~base_seed ~buggify ~seeds () in
+    ?(plant = false) ?(churn = false) ~seeds () =
+  let cases = generate ~base_seed ~buggify ~churn ~seeds () in
   let body c ~seed:_ = Printer.line (verdict_line (run_case ~plant c)) in
   let pool_report =
     if domains > 0 then
@@ -392,7 +453,18 @@ let self_test ?(base_seed = 42) ?(log = Printer.line) () =
       (Printf.sprintf "self-test: repro fails deterministically: %b (%s)"
          still_fails
          (String.concat "," v1.checks));
-    let ok = nemesis_reduced && ops_reduced && still_fails in
+    (* the churn path end-to-end: over a small churn campaign, at least
+       one clean case must have a plantable site in its founders' view
+       and the founders-scoped causal pass must reject the inversion *)
+    let churn_cases = generate ~base_seed ~churn:true ~seeds:4 () in
+    let churn_found =
+      List.exists (fun c -> not (run_case ~plant:true c).ok) churn_cases
+    in
+    log
+      (Printf.sprintf
+         "self-test: churn plant detected on %d-case campaign: %b" 4
+         churn_found);
+    let ok = nemesis_reduced && ops_reduced && still_fails && churn_found in
     log (if ok then "self-test: ok" else "self-test: FAILED");
     ok
   end

@@ -39,26 +39,36 @@ val generate :
   ?base_seed:int ->
   ?buggify:bool ->
   ?min_phases:int ->
+  ?churn:bool ->
   seeds:int ->
   unit ->
   case list
 (** The campaign's case list — deterministic in all arguments.  Case [i]
-    uses composition [i mod 7] (all seven shipped stacks), a workload of
+    uses composition [i mod 8] (all eight shipped stacks), a workload of
     20–60 ops in a random mix, and 0–2 fault phases (timed
     partition/heal pairs over the full membership, or loss/dup/jitter
     phases swapped in and back out).  [~buggify] raises fault severity
     and allows a third phase and three-way partitions; [~min_phases]
     forces at least that many phases (the self-test uses [1] so
-    shrinking always has a schedule to reduce). *)
+    shrinking always has a schedule to reduce).  [~churn] makes every
+    case a membership case: composition pinned to [Pc_stack] (the one
+    stack with dynamic membership) and 1–3 timed join/leave events
+    appended after the fault phases — joins name a founding contact,
+    leaves a founder other than node 0, so any subset of the schedule
+    stays well-formed under {!Drivers.run_pc}'s guards. *)
 
 val run_case : ?plant:bool -> case -> verdict
-(** Execute one case ({!Drivers.run_stack} with [~check:true] and the
-    case's nemesis).  [~plant:true] additionally splices one seeded
-    ordering violation into the run's trace ([Causalb_check.Mutate] —
-    a FIFO inversion for the FIFO/BSS compositions, a causal inversion
-    for the graph engines) and re-audits with {!Drivers.recheck}: the
-    verdict must come back [ok = false] if the oracle plumbing works.
-    A planted case whose trace has no mutation site passes. *)
+(** Execute one case.  A schedule with membership events runs
+    {!Drivers.run_pc} and is audited by the same gate the driver applies
+    to itself ({!Drivers.recheck_pc}: FIFO over everyone, causal over
+    the founders' view, disarmed by partition/loss); any other case runs
+    {!Drivers.run_stack} with [~check:true].  [~plant:true] additionally
+    splices one seeded ordering violation into the run's trace
+    ([Causalb_check.Mutate] — a FIFO inversion for the FIFO/BSS
+    compositions, a causal inversion for the graph engines and the
+    churn path, where it lands inside the founders' view) and re-audits:
+    the verdict must come back [ok = false] if the oracle plumbing
+    works.  A planted case whose trace has no mutation site passes. *)
 
 val shrink : ?plant:bool -> case -> case * int
 (** Minimize a failing case: drop nemesis events one at a time (keeping
@@ -88,6 +98,7 @@ val run :
   ?base_seed:int ->
   ?buggify:bool ->
   ?plant:bool ->
+  ?churn:bool ->
   seeds:int ->
   unit ->
   report
@@ -101,11 +112,13 @@ val run :
 val self_test :
   ?base_seed:int -> ?log:(string -> unit) -> unit -> bool
 (** Plant one known violation per shipped composition ([run_case
-    ~plant:true] over a 7-case campaign with [min_phases = 1]), assert
+    ~plant:true] over an 8-case campaign with [min_phases = 1]), assert
     at least one is detected, shrink the first find, and assert the
     minimal repro still fails deterministically (two replays, equal
     checker sets) and shrank on {e both} axes — fewer nemesis events and
-    fewer ops.  [true] iff all of that holds. *)
+    fewer ops.  Then plant over a small churn campaign and assert the
+    founders-scoped causal pass rejects at least one inversion there
+    too.  [true] iff all of that holds. *)
 
 val describe : case -> string
 (** One-line repro description: seed, composition, replicas, workload

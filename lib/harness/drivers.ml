@@ -242,6 +242,9 @@ let run_timestamp ?(seed = 42) ?(latency = default_latency) ~replicas w =
 
 module Stack = Causalb_stack.Stack
 module Metrics = Causalb_stackbase.Metrics
+module Nemesis = Causalb_net.Nemesis
+module Pcb = Causalb_core.Pcbcast
+module Trace = Causalb_sim.Trace
 
 type stack_spec =
   | Fifo_only
@@ -251,6 +254,7 @@ type stack_spec =
   | Osend_merge
   | Osend_counted of int
   | Osend_sequencer
+  | Pc_stack
 
 let stack_spec_name = function
   | Fifo_only -> "fifo"
@@ -260,6 +264,7 @@ let stack_spec_name = function
   | Osend_merge -> "osend+merge"
   | Osend_counted n -> Printf.sprintf "osend+counted(%d)" n
   | Osend_sequencer -> "osend+sequencer"
+  | Pc_stack -> "pc"
 
 (* Everything the offline ordering oracle needs to audit one run: the
    trace, the dependency graph the delivery order is checked against
@@ -303,6 +308,18 @@ let stack_params spec =
     (Stack.Osend, Stack.Merge (fun m -> op_is_sync (Message.payload m)))
   | Osend_counted n -> (Stack.Osend, Stack.Counted n)
   | Osend_sequencer -> (Stack.Osend, Stack.Sequencer { node = 0 })
+  | Pc_stack -> (Stack.Pc, Stack.Pass)
+
+(* The transport each composition runs over.  The historical drivers all
+   run on raw datagram links ([fifo = false]) so the ordering work is
+   visible in the causal layer; PC-broadcast is the exception — its
+   causal order IS the per-link FIFO order, so it gets (and declares that
+   it requires) FIFO links. *)
+let transport_fifo_of = function
+  | Pc_stack -> true
+  | Fifo_only | Bss_stack | Psync_stack | Osend_stack | Osend_merge
+  | Osend_counted _ | Osend_sequencer ->
+    false
 
 (* --- the static consistency verifier over the stack driver --- *)
 
@@ -321,7 +338,7 @@ module Analysis_workload = Causalb_analysis.Workload
    total-order tails claim [Causal_total]. *)
 let claim_of = function
   | Fifo_only | Bss_stack -> Guarantee.Fifo
-  | Psync_stack | Osend_stack -> Guarantee.Causal
+  | Psync_stack | Osend_stack | Pc_stack -> Guarantee.Causal
   | Osend_merge | Osend_counted _ | Osend_sequencer -> Guarantee.Causal_total
 
 (* The workload intent the race lint analyses: the same §6.1 Window
@@ -348,7 +365,7 @@ let static_passes ~replicas spec ops =
   let claim = claim_of spec in
   let verify =
     Stack_verify.verify ~claim
-      (Stack_verify.layers_of ~ordering ~total ~fifo:false)
+      (Stack_verify.layers_of ~ordering ~total ~fifo:(transport_fifo_of spec))
   in
   let intent = intent_of_ops ~replicas ops in
   (* The race lint holds a composition to what it claims: under-ordered
@@ -375,8 +392,8 @@ let static_audit ?(seed = 42) ?(latency = default_latency) ~replicas spec w =
   let engine = Engine.create ~seed () in
   let ordering, total = stack_params spec in
   let (_ : Dt.Int_register.op Stack.t) =
-    Stack.compose ~ordering ~total ~latency ~fifo:false engine
-      ~nodes:replicas ()
+    Stack.compose ~ordering ~total ~latency ~fifo:(transport_fifo_of spec)
+      engine ~nodes:replicas ()
   in
   let rng = Engine.fork_rng engine in
   static_passes ~replicas spec (op_sequence rng w)
@@ -401,6 +418,13 @@ let recheck spec ~lost (a : stack_audit) =
   | Fifo_only | Bss_stack ->
     C.fifo ~graph tr
     @ if_complete (fun () -> C.total_order ~graph ~sync:none tr)
+  | Pc_stack ->
+    (* FIFO per origin holds unconditionally (gaps park, they never
+       skip); causal order is only promised over reliable links, so its
+       checker arms with the completeness-dependent ones. *)
+    C.fifo ~graph tr
+    @ if_complete (fun () ->
+          C.causal ~graph tr @ C.total_order ~graph ~sync:none tr)
   | Psync_stack ->
     C.causal ~graph tr
     @ if_complete (fun () -> C.total_order ~graph ~sync:none tr)
@@ -434,7 +458,7 @@ let run_stack ?(seed = 42) ?(latency = default_latency) ?(check = false)
     &&
     match spec with
     | Osend_stack | Osend_merge | Osend_counted _ | Osend_sequencer -> true
-    | Fifo_only | Bss_stack | Psync_stack -> false
+    | Fifo_only | Bss_stack | Psync_stack | Pc_stack -> false
   in
   let module Sp = Causalb_core.Stable_points in
   let trackers =
@@ -473,8 +497,8 @@ let run_stack ?(seed = 42) ?(latency = default_latency) ?(check = false)
     | None -> ()
   in
   let stack =
-    Stack.compose ~ordering ~total ~latency ~fifo:false ?trace ~on_deliver
-      engine ~nodes:replicas ()
+    Stack.compose ~ordering ~total ~latency ~fifo:(transport_fifo_of spec)
+      ?trace ~on_deliver engine ~nodes:replicas ()
   in
   (* The §6.1 front-end dependency pattern, driven through the stack:
      commutative ops follow the last sync; a sync AND-closes the window.
@@ -511,7 +535,8 @@ let run_stack ?(seed = 42) ?(latency = default_latency) ?(check = false)
     else
       Stack_verify.to_diags
         (Stack_verify.verify ~claim:(claim_of spec)
-           (Stack_verify.layers_of ~ordering ~total ~fifo:false))
+           (Stack_verify.layers_of ~ordering ~total
+              ~fifo:(transport_fifo_of spec)))
   in
   let refused = on_static = `Refuse && static_diags <> [] in
   if static_diags <> [] && not refused then
@@ -543,7 +568,7 @@ let run_stack ?(seed = 42) ?(latency = default_latency) ?(check = false)
     match spec with
     | Osend_merge | Osend_counted _ | Osend_sequencer ->
       Causalb_core.Checker.identical_orders orders
-    | Fifo_only | Bss_stack | Psync_stack | Osend_stack ->
+    | Fifo_only | Bss_stack | Psync_stack | Osend_stack | Pc_stack ->
       Causalb_core.Checker.same_set orders
   in
   let layers = Stack.metrics stack in
@@ -601,6 +626,136 @@ let run_stack ?(seed = 42) ?(latency = default_latency) ?(check = false)
     sim_time = Engine.now engine;
     refused;
     audit;
+  }
+
+(* --- the PC-broadcast churn driver ---
+   The dynamic-membership path [run_stack] cannot exercise (stacks have
+   fixed membership): a Pcbcast.Group over FIFO links, a nemesis that
+   may join/leave members mid-run, ops submitted round-robin over
+   whoever is alive at fire time, every causal delivery traced, and the
+   offline oracle over the extracted R(M). *)
+
+type pc_result = {
+  pc_delivered : int;       (* causal deliveries across members ever *)
+  pc_messages : int;
+  pc_lost : int;            (* partition + injected-loss drops *)
+  pc_departure_drops : int; (* harmless to survivors, see Net *)
+  pc_joined : int list;     (* ids the nemesis added, join order *)
+  pc_left : int list;       (* ids the nemesis removed, leave order *)
+  pc_members : int;         (* members ever: founders + joiners *)
+  pc_diagnostics : Causalb_check.Diag.t list;
+  pc_trace : Trace.t;
+  pc_graph : Causalb_graph.Depgraph.t;
+  pc_checks_ok : bool;
+  pc_sim_time : float;
+}
+
+(* The causal checker demands a delivery's R(M) ancestors be delivered
+   at the same node first — which joiners legitimately violate: their
+   causal past starts at the contact's adopt-first baseline, so pre-join
+   history never arrives.  Scope the causal pass to founders by
+   rebuilding the trace without joiner records; FIFO (and the joiners'
+   per-origin monotonicity it implies) is still checked on everyone. *)
+let founders_view trace ~founders =
+  let t = Trace.create () in
+  Trace.iter trace (fun r ->
+      if r.Trace.node < founders then
+        Trace.record t ~time:r.Trace.time ~node:r.Trace.node ~kind:r.Trace.kind
+          ~tag:r.Trace.tag ~info:r.Trace.info ());
+  t
+
+(* The churn oracle as a pure function of (trace, graph, loss) — the
+   live driver below and the campaign's planted re-audits share it, so
+   the plant path can never drift from the gating the hunt enforces.
+   Causal order is only promised over reliable links; departure drops
+   don't dent survivor safety, partition/loss drops do. *)
+let recheck_pc ~replicas ~lost ~graph trace =
+  let module C = Causalb_check.Trace_check in
+  C.fifo ~graph trace
+  @
+  if lost = 0 then C.causal ~graph (founders_view trace ~founders:replicas)
+  else []
+
+let run_pc ?(seed = 42) ?(latency = default_latency) ?nemesis ~replicas w =
+  let engine = Engine.create ~seed () in
+  let trace = Trace.create () in
+  (* PC-broadcast is only sound over per-link FIFO *)
+  let net = Net.create engine ~nodes:replicas ~latency ~fifo:true ~trace () in
+  let g =
+    Pcb.Group.create net
+      ~on_causal:(fun ~node ~label ->
+        (* every causal delivery — π_lock barriers and Joined
+           retro-disseminations included — so the offline checkers audit
+           the full delivery order, not just the app-visible part *)
+        Trace.record trace ~time:(Engine.now engine) ~node
+          ~kind:Trace.Deliver ~tag:(Label.to_string label) ())
+      ()
+  in
+  let joined = ref [] and left = ref [] in
+  (match nemesis with
+  | None -> ()
+  | Some schedule ->
+    Nemesis.install ~engine
+      ~partition:(fun cells -> Net.partition net cells)
+      ~heal:(fun () -> Net.heal net)
+      ~set_fault:(fun f -> Net.set_fault net f)
+      ~join:(fun ~contact ->
+        (* a shrunk schedule may name a departed contact; re-route to
+           the oldest survivor so the event stays meaningful *)
+        let contact =
+          if Pcb.Group.is_alive g contact then contact
+          else
+            match Pcb.Group.alive g with c :: _ -> c | [] -> contact
+        in
+        if Pcb.Group.is_alive g contact then
+          joined := Pcb.Group.join g ~contact :: !joined)
+      ~leave:(fun node ->
+        (* keep member 0 (the schedule generator's anchor) and at least
+           two members alive, and ignore double-leaves — the contract
+           Nemesis.Leave documents *)
+        if
+          node <> 0
+          && Pcb.Group.is_alive g node
+          && List.length (Pcb.Group.alive g) > 2
+        then begin
+          Pcb.Group.leave g node;
+          left := node :: !left
+        end)
+      schedule);
+  (* Round-robin over whoever is alive at fire time: churn reshapes the
+     submission pattern deterministically (nemesis events at the same
+     instant fire first — they were armed first). *)
+  let total = w.ops + 1 in
+  for i = 0 to total - 1 do
+    Engine.schedule_at engine ~time:(float_of_int i *. w.spacing) (fun () ->
+        match Pcb.Group.alive g with
+        | [] -> ()
+        | al ->
+          let src = List.nth al (i mod List.length al) in
+          ignore (Pcb.Group.bcast g ~src ~tag:(Printf.sprintf "op%d" i) i))
+  done;
+  Engine.run engine;
+  let graph = Pcb.Group.graph g in
+  let faulty = Net.dropped_by_partition net + Net.dropped_by_loss net in
+  let diagnostics = recheck_pc ~replicas ~lost:faulty ~graph trace in
+  let delivered =
+    List.init (Pcb.Group.size g) (fun i ->
+        Pcb.delivered_count (Pcb.Group.member g i))
+    |> List.fold_left ( + ) 0
+  in
+  {
+    pc_delivered = delivered;
+    pc_messages = Net.messages_sent net;
+    pc_lost = faulty;
+    pc_departure_drops = Net.dropped_by_departure net;
+    pc_joined = List.rev !joined;
+    pc_left = List.rev !left;
+    pc_members = Pcb.Group.size g;
+    pc_diagnostics = diagnostics;
+    pc_trace = trace;
+    pc_graph = graph;
+    pc_checks_ok = diagnostics = [];
+    pc_sim_time = Engine.now engine;
   }
 
 (* --- driver 6: spec-derived objects over the stable-point service ---

@@ -69,8 +69,18 @@ type stack_spec =
   | Osend_merge        (** … → osend → sync-anchored merge → app *)
   | Osend_counted of int  (** … → osend → count-closed merge → app *)
   | Osend_sequencer    (** … → sequencer chain over osend → app *)
+  | Pc_stack
+      (** fifo transport → pc causal → app: constant-size headers,
+          causal order from the links ([Causalb_core.Pcbcast]) *)
 
 val stack_spec_name : stack_spec -> string
+
+val transport_fifo_of : stack_spec -> bool
+(** The transport each composition runs over: [false] (raw datagram
+    links) for the historical drivers, [true] for PC-broadcast — its
+    causal order {e is} the per-link FIFO order.  Every driver and both
+    static passes thread this, so a spec's declared requirement and the
+    network it actually gets can never drift apart. *)
 
 (** One run's evidence for the offline ordering oracle
     ([Causalb_check]): the execution trace, the dependency graph the
@@ -116,10 +126,12 @@ val claim_of : stack_spec -> Causalb_stackbase.Guarantee.t
 (** The consistency level each shipped composition {e claims}: [Fifo] for
     the deliberate under-ordered baselines (FIFO-only, BSS — the dynamic
     oracle holds them to per-sender order and same-set delivery only),
-    [Causal] for the explicit-graph engines (Psync, OSend), and
-    [Causal_total] for the total-order tails.  The static verifier checks
-    the claim against the composed top-of-stack guarantee, and the race
-    lint applies to compositions claiming at least [Causal]. *)
+    [Causal] for the engines that extract a true potential-causality
+    graph (Psync, OSend, and PC — whose audit graph records each send's
+    actual delivery context), and [Causal_total] for the total-order
+    tails.  The static verifier checks the claim against the composed
+    top-of-stack guarantee, and the race lint applies to compositions
+    claiming at least [Causal]. *)
 
 (** One configuration's static verdict, computed without executing it:
     both passes of the static consistency verifier
@@ -199,6 +211,74 @@ val run_stack :
     any operation is submitted; an action and a submission at the same
     virtual instant fire nemesis-first.  The run stays deterministic in
     (seed, workload, schedule). *)
+
+(** {1 PC-broadcast under churn}
+
+    The dynamic-membership path the fixed-membership stack cannot
+    exercise: a [Causalb_core.Pcbcast.Group] over FIFO links, a nemesis
+    schedule that may join/leave members mid-run ([Nemesis.Join]/
+    [Nemesis.Leave]), operations submitted round-robin over whoever is
+    alive at fire time, and the offline oracle over the extracted
+    [R(M)]. *)
+
+type pc_result = {
+  pc_delivered : int;  (** causal deliveries summed over members ever *)
+  pc_messages : int;
+  pc_lost : int;
+      (** partition + injected-loss drops — when non-zero the causal
+          checker is disarmed (PC cannot detect a lost dependency;
+          that is the price of constant-size headers) *)
+  pc_departure_drops : int;
+      (** copies to/from departed endpoints — harmless to survivors,
+          so these do {e not} disarm the causal checker *)
+  pc_joined : int list;  (** ids the nemesis added, in join order *)
+  pc_left : int list;    (** ids the nemesis removed, in leave order *)
+  pc_members : int;      (** members ever: founders + joiners *)
+  pc_diagnostics : Causalb_check.Diag.t list;
+      (** FIFO per origin over everyone, causal order over the founders
+          (joiners legitimately miss pre-join history) *)
+  pc_trace : Causalb_sim.Trace.t;
+  pc_graph : Causalb_graph.Depgraph.t;
+  pc_checks_ok : bool;  (** [pc_diagnostics = []] *)
+  pc_sim_time : float;
+}
+
+val founders_view :
+  Causalb_sim.Trace.t -> founders:int -> Causalb_sim.Trace.t
+(** The trace restricted to nodes [< founders] — the view the causal
+    pass audits under churn.  Joiners legitimately miss pre-join
+    history (their causal past starts at the contact's adopt-first
+    baseline), so the "ancestor delivered at this node first" demand
+    only holds for founding members; a founder that later departs keeps
+    a causally closed prefix and stays in the view. *)
+
+val recheck_pc :
+  replicas:int ->
+  lost:int ->
+  graph:Causalb_graph.Depgraph.t ->
+  Causalb_sim.Trace.t ->
+  Causalb_check.Diag.t list
+(** The churn oracle as a pure function: FIFO over the whole trace
+    (adopt-first baselines keep every joiner's per-origin sequence
+    increasing), causal over {!founders_view} — and only when [lost = 0]
+    partition/loss copies vanished (departure drops don't count; a
+    departed member's in-flight copies are harmless to survivors).
+    {!run_pc} applies exactly this to its own trace; [Campaign] replays
+    it over mutated traces, so the planted-bug path cannot drift from
+    the live gating. *)
+
+val run_pc :
+  ?seed:int ->
+  ?latency:Causalb_sim.Latency.t ->
+  ?nemesis:Causalb_net.Nemesis.t ->
+  replicas:int ->
+  workload ->
+  pc_result
+(** Deterministic in (seed, workload, schedule).  The nemesis callbacks
+    keep shrunk schedules well-formed: a join through a departed contact
+    re-routes to the oldest survivor; a leave of member 0, of an
+    already-departed member, or one that would drop the group below two
+    alive members is ignored. *)
 
 (** {1 Spec-derived objects over the stable-point service}
 

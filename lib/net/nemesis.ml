@@ -1,6 +1,11 @@
 module Engine = Causalb_sim.Engine
 
-type action = Partition of int list list | Heal | Set_fault of Fault.t
+type action =
+  | Partition of int list list
+  | Heal
+  | Set_fault of Fault.t
+  | Join of { contact : int }
+  | Leave of int
 
 type event = { at : float; action : action }
 
@@ -12,10 +17,26 @@ let lossy schedule =
       match e.action with
       | Partition _ -> true
       | Heal -> false
-      | Set_fault f -> f.Fault.drop_prob > 0.0)
+      | Set_fault f -> f.Fault.drop_prob > 0.0
+      (* A leave drops every copy still in flight to the departed
+         endpoint; a join by itself removes nothing from the wire. *)
+      | Join _ -> false
+      | Leave _ -> true)
     schedule
 
-let install ~engine ~partition ~heal ~set_fault schedule =
+let has_churn schedule =
+  List.exists
+    (fun e -> match e.action with Join _ | Leave _ -> true | _ -> false)
+    schedule
+
+let install ~engine ~partition ~heal ~set_fault ?join ?leave schedule =
+  (match (join, leave) with
+  | Some _, Some _ -> ()
+  | _ when has_churn schedule ->
+    invalid_arg
+      "Nemesis.install: schedule has join/leave actions but no churn \
+       callbacks — this target has fixed membership"
+  | _ -> ());
   let ordered =
     List.stable_sort (fun a b -> Float.compare a.at b.at) schedule
   in
@@ -26,6 +47,9 @@ let install ~engine ~partition ~heal ~set_fault schedule =
         | Partition cells -> partition cells
         | Heal -> heal ()
         | Set_fault f -> set_fault f
+        | Join { contact } -> (
+          match join with Some j -> j ~contact | None -> ())
+        | Leave node -> ( match leave with Some l -> l node | None -> ())
       in
       Engine.schedule_at engine ~time:(Float.max e.at (Engine.now engine)) run)
     ordered
@@ -48,6 +72,8 @@ let pp_action ppf = function
   | Set_fault f ->
     if f = Fault.none then Format.pp_print_string ppf "faults(none)"
     else Fault.pp ppf f
+  | Join { contact } -> Format.fprintf ppf "join(contact=%d)" contact
+  | Leave node -> Format.fprintf ppf "leave(%d)" node
 
 let pp ppf schedule =
   if schedule = [] then Format.pp_print_string ppf "quiet"

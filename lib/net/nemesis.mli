@@ -19,6 +19,16 @@ type action =
   | Set_fault of Fault.t
       (** replace the injected-fault profile; [Fault.none] ends a
           loss/dup/jitter phase *)
+  | Join of { contact : int }
+      (** a fresh member joins through [contact] — the churn nemesis of
+          the PC-broadcast campaigns.  Only meaningful on targets with
+          dynamic membership; {!install} requires churn callbacks when
+          the schedule contains one *)
+  | Leave of int
+      (** member [node] departs permanently (see {!Net.remove_node}).
+          Drivers are expected to ignore a leave that would empty the
+          group or target an already-departed node, so shrunk schedules
+          stay well-formed *)
 
 type event = { at : float;  (** virtual ms *) action : action }
 
@@ -29,21 +39,32 @@ type t = event list
 
 val lossy : t -> bool
 (** Whether the schedule can remove copies from the wire: it contains a
-    [Partition] or a [Set_fault] with positive [drop_prob].  Lossless
+    [Partition], a [Leave] (in-flight copies to the departed endpoint
+    drop), or a [Set_fault] with positive [drop_prob].  Lossless
     schedules (dup/jitter only) keep completeness properties checkable;
     lossy ones restrict the oracle to safety. *)
+
+val has_churn : t -> bool
+(** Whether the schedule contains any [Join] or [Leave] event. *)
 
 val install :
   engine:Causalb_sim.Engine.t ->
   partition:(int list list -> unit) ->
   heal:(unit -> unit) ->
   set_fault:(Fault.t -> unit) ->
+  ?join:(contact:int -> unit) ->
+  ?leave:(int -> unit) ->
   t ->
   unit
 (** Arm every event on the engine ([Engine.schedule_at], so times before
     [now] are clamped forward by the engine).  The closures decouple the
     schedule from what it drives — a raw {!Net.t}, a stack composition,
-    or anything else exposing the three operations. *)
+    or anything else exposing the operations.  [join]/[leave] arm the
+    churn actions; both must be supplied when the schedule
+    {!has_churn}.
+    @raise Invalid_argument on a churn schedule without churn
+    callbacks — silently skipping membership events would turn a churn
+    repro into a quiet run. *)
 
 val install_net : 'a Net.t -> t -> unit
 (** [install] specialised to a raw network. *)

@@ -19,15 +19,20 @@ type 'a packet = {
 
 type 'a t = {
   engine : Engine.t;
-  n : int;
+  mutable n : int; (* logical node count; arrays may have spare capacity *)
   latency : Latency.t;
   fifo : bool;
   rng : Rng.t;
   trace : Trace.t option;
-  handlers : (src:int -> 'a -> unit) option array;
-  last_arrival : float array array; (* last_arrival.(src).(dst) *)
+  mutable handlers : (src:int -> 'a -> unit) option array;
+  mutable last_arrival : float array array; (* last_arrival.(src).(dst) *)
+  mutable departed : bool array;
+      (* endpoints removed by [remove_node]: copies to or from them drop,
+         and no membership change — [partition]/[heal] included — ever
+         brings them back *)
   mutable fault : Fault.t;
   mutable cell_of : int array option; (* partition cell per node *)
+  mutable next_cell : int; (* fresh singleton cell ids for added nodes *)
   mutable sent : int;
   mutable delivered : int;
   (* One counter per drop cause, so campaign reports can attribute loss:
@@ -35,6 +40,7 @@ type 'a t = {
   mutable dropped_partition : int;
   mutable dropped_loss : int;
   mutable dropped_no_handler : int;
+  mutable dropped_departed : int;
   mutable bytes : int;
   mutable in_flight : int;
   mutable pool : 'a packet array; (* free packets in [0, pool_len) *)
@@ -53,13 +59,16 @@ let create engine ~nodes ?(latency = Latency.lan) ?(fifo = true)
     trace;
     handlers = Array.make nodes None;
     last_arrival = Array.make_matrix nodes nodes 0.0;
+    departed = Array.make nodes false;
     fault;
     cell_of = None;
+    next_cell = 0;
     sent = 0;
     delivered = 0;
     dropped_partition = 0;
     dropped_loss = 0;
     dropped_no_handler = 0;
+    dropped_departed = 0;
     bytes = 0;
     in_flight = 0;
     pool = [||];
@@ -89,6 +98,54 @@ let record t ~node ~kind ~tag ~info =
   | Some tr ->
     Trace.record tr ~time:(Engine.now t.engine) ~node ~kind ~tag ~info ()
 
+(* Dynamic endpoint registration.  Per-node arrays grow geometrically;
+   the FIFO floor matrix starts new links at 0.0, which is always ≤ now,
+   so a fresh link's first copy is never artificially delayed. *)
+let add_node t =
+  let id = t.n in
+  let cap = Array.length t.handlers in
+  if id >= cap then begin
+    let cap' = max 8 (2 * cap) in
+    let handlers = Array.make cap' None in
+    Array.blit t.handlers 0 handlers 0 t.n;
+    t.handlers <- handlers;
+    let departed = Array.make cap' false in
+    Array.blit t.departed 0 departed 0 t.n;
+    t.departed <- departed;
+    let last = Array.make_matrix cap' cap' 0.0 in
+    Array.iteri
+      (fun src row -> if src < t.n then Array.blit row 0 last.(src) 0 t.n)
+      t.last_arrival;
+    t.last_arrival <- last;
+    (match t.cell_of with
+    | None -> ()
+    | Some cells ->
+      let cells' = Array.make cap' (-1) in
+      Array.blit cells 0 cells' 0 t.n;
+      t.cell_of <- Some cells')
+  end;
+  (match t.cell_of with
+  | None -> ()
+  | Some cells ->
+    (* A node joining under an active partition lands in its own
+       singleton cell — it sees nobody until the next heal. *)
+    cells.(id) <- t.next_cell;
+    t.next_cell <- t.next_cell + 1);
+  t.n <- t.n + 1;
+  if tracing t then
+    record t ~node:id ~kind:Trace.Mark ~tag:"join" ~info:"net:add_node";
+  id
+
+let remove_node t node =
+  check_node t "remove_node" node;
+  t.departed.(node) <- true;
+  if tracing t then
+    record t ~node ~kind:Trace.Mark ~tag:"leave" ~info:"net:remove_node"
+
+let is_departed t node =
+  check_node t "is_departed" node;
+  t.departed.(node)
+
 let reachable t src dst =
   match t.cell_of with
   | None -> true
@@ -96,14 +153,24 @@ let reachable t src dst =
 
 let deliver t ~src ~dst payload =
   t.in_flight <- t.in_flight - 1;
-  match t.handlers.(dst) with
-  | Some f ->
-    t.delivered <- t.delivered + 1;
+  (* A copy can be in flight when its destination departs; it arrives at
+     a dead endpoint and drops.  Checked before the handler lookup so a
+     departed node's (still installed) handler is never re-entered. *)
+  if t.departed.(dst) then begin
+    t.dropped_departed <- t.dropped_departed + 1;
     if tracing t then
-      record t ~node:dst ~kind:Trace.Receive ~tag:""
-        ~info:(Printf.sprintf "from=%d" src);
-    f ~src payload
-  | None -> t.dropped_no_handler <- t.dropped_no_handler + 1
+      record t ~node:dst ~kind:Trace.Drop ~tag:""
+        ~info:(Printf.sprintf "departed from=%d" src)
+  end
+  else
+    match t.handlers.(dst) with
+    | Some f ->
+      t.delivered <- t.delivered + 1;
+      if tracing t then
+        record t ~node:dst ~kind:Trace.Receive ~tag:""
+          ~info:(Printf.sprintf "from=%d" src);
+      f ~src payload
+    | None -> t.dropped_no_handler <- t.dropped_no_handler + 1
 
 let release_packet t p =
   if t.pool_len = Array.length t.pool then begin
@@ -169,7 +236,16 @@ let schedule_copy t ~src ~dst payload =
 let send_copy t ~src ~dst ~size payload =
   t.sent <- t.sent + 1;
   t.bytes <- t.bytes + size;
-  if not (reachable t src dst) then begin
+  (* Departure wins over every other fate, and [reachable] never sees
+     departed endpoints — so a heal (which only clears partition cells)
+     cannot resurrect a removed node. *)
+  if t.departed.(src) || t.departed.(dst) then begin
+    t.dropped_departed <- t.dropped_departed + 1;
+    if tracing t then
+      record t ~node:src ~kind:Trace.Drop ~tag:""
+        ~info:(Printf.sprintf "departed dst=%d" dst)
+  end
+  else if not (reachable t src dst) then begin
     t.dropped_partition <- t.dropped_partition + 1;
     if tracing t then
       record t ~node:src ~kind:Trace.Drop ~tag:""
@@ -198,10 +274,15 @@ let send t ~src ~dst ?(size = 1) payload =
 let broadcast t ~src ?(self = true) ?(size = 1) payload =
   check_node t "broadcast" src;
   if tracing t then record t ~node:src ~kind:Trace.Send ~tag:"" ~info:"bcast";
+  (* Membership-aware fan-out: departed endpoints are not addressed at
+     all (no copy, no byte charge) — a real group would have removed
+     them from its view.  Point-to-point [send] to one still counts a
+     departed drop; that asymmetry is deliberate. *)
   for dst = 0 to t.n - 1 do
-    if dst <> src then send_copy t ~src ~dst ~size payload
+    if dst <> src && not t.departed.(dst) then
+      send_copy t ~src ~dst ~size payload
   done;
-  if self then begin
+  if self && not t.departed.(src) then begin
     t.sent <- t.sent + 1;
     (* The self copy travels the same wire accounting as a remote copy:
        without the charge, bytes_per_delivery under-reports exactly 1/n
@@ -228,7 +309,8 @@ let bcast t ~src ?self ~size payload = broadcast t ~src ?self ~size payload
 let set_fault t fault = t.fault <- fault
 
 let partition t cells =
-  let cell_of = Array.make t.n (-1) in
+  (* Capacity-sized so nodes added mid-partition index safely. *)
+  let cell_of = Array.make (Array.length t.handlers) (-1) in
   List.iteri
     (fun idx cell ->
       List.iter
@@ -243,13 +325,13 @@ let partition t cells =
     cells;
   (* Unlisted nodes become singletons with unique negative-free ids. *)
   let next = ref (List.length cells) in
-  Array.iteri
-    (fun node c ->
-      if c = -1 then begin
-        cell_of.(node) <- !next;
-        incr next
-      end)
-    cell_of;
+  for node = 0 to t.n - 1 do
+    if cell_of.(node) = -1 then begin
+      cell_of.(node) <- !next;
+      incr next
+    end
+  done;
+  t.next_cell <- !next;
   t.cell_of <- Some cell_of
 
 let heal t = t.cell_of <- None
@@ -260,6 +342,7 @@ let messages_delivered t = t.delivered
 
 let messages_dropped t =
   t.dropped_partition + t.dropped_loss + t.dropped_no_handler
+  + t.dropped_departed
 
 let dropped_by_partition t = t.dropped_partition
 
@@ -267,7 +350,10 @@ let dropped_by_loss t = t.dropped_loss
 
 let dropped_no_handler t = t.dropped_no_handler
 
-let lost_copies t = t.dropped_partition + t.dropped_loss
+let dropped_by_departure t = t.dropped_departed
+
+let lost_copies t =
+  t.dropped_partition + t.dropped_loss + t.dropped_departed
 
 let bytes_sent t = t.bytes
 

@@ -34,6 +34,27 @@ val set_handler : 'a t -> int -> (src:int -> 'a -> unit) -> unit
 (** Install the receive callback for a node (replacing any previous one).
     Messages arriving at a node with no handler are counted as dropped. *)
 
+(** {1 Dynamic membership}
+
+    Endpoints can be registered and retired while the simulation runs —
+    the substrate for PC-broadcast's join/leave protocol.  Node ids are
+    never reused: a removed endpoint's id stays dead forever. *)
+
+val add_node : 'a t -> int
+(** Register a fresh endpoint and return its id ([nodes t] before the
+    call; {!nodes} grows by one).  The new node has no handler until
+    {!set_handler}; under an active {!partition} it joins as a singleton
+    cell and sees nobody until the next {!heal}. *)
+
+val remove_node : 'a t -> int -> unit
+(** Retire an endpoint.  From this instant every copy addressed to it or
+    sent by it is dropped (counted in {!dropped_by_departure}), including
+    copies already in flight.  Departure is permanent: neither {!heal}
+    nor a new {!partition} brings the endpoint back, and {!broadcast}
+    stops addressing it entirely.  Idempotent. *)
+
+val is_departed : 'a t -> int -> bool
+
 val send : 'a t -> src:int -> dst:int -> ?size:int -> 'a -> unit
 (** Unicast.  [size] (abstract bytes, default 1) feeds the traffic
     accounting only. *)
@@ -72,7 +93,7 @@ val messages_sent : 'a t -> int
 val messages_delivered : 'a t -> int
 
 val messages_dropped : 'a t -> int
-(** All copies that never reached a handler — the sum of the three
+(** All copies that never reached a handler — the sum of the four
     per-cause counters below. *)
 
 val dropped_by_partition : 'a t -> int
@@ -85,11 +106,19 @@ val dropped_by_loss : 'a t -> int
 val dropped_no_handler : 'a t -> int
 (** Copies that arrived at a node with no handler installed. *)
 
+val dropped_by_departure : 'a t -> int
+(** Copies dropped because one end had been removed with {!remove_node}.
+    Kept separate from partition/loss drops: departure drops do not
+    threaten the safety of the surviving members (nothing a survivor
+    delivers depended on a copy addressed to a dead endpoint arriving),
+    so the causal oracle stays armed under pure churn while
+    completeness checks still see the loss. *)
+
 val lost_copies : 'a t -> int
-(** Copies that left the wire before arrival: partition + injected loss.
-    [0] means every scheduled copy arrived somewhere, so completeness
-    properties (same-set delivery, release agreement) are checkable;
-    no-handler drops are excluded — the copy did arrive. *)
+(** Copies that left the wire before arrival: partition + injected loss
+    + departure.  [0] means every scheduled copy arrived somewhere, so
+    completeness properties (same-set delivery, release agreement) are
+    checkable; no-handler drops are excluded — the copy did arrive. *)
 
 val bytes_sent : 'a t -> int
 

@@ -7,6 +7,8 @@ type t = {
   mutable forced_waits : int;
   mutable buffered : int;
   mutable wire_bytes : int;
+  mutable control_bytes : int;
+  mutable payload_bytes : int;
   latency : Stats.t;
 }
 
@@ -18,6 +20,8 @@ let create ?(name = "layer") () =
     forced_waits = 0;
     buffered = 0;
     wire_bytes = 0;
+    control_bytes = 0;
+    payload_bytes = 0;
     latency = Stats.create ();
   }
 
@@ -35,12 +39,27 @@ let on_unbuffer t = t.buffered <- t.buffered - 1
 
 let on_wire t n = t.wire_bytes <- t.wire_bytes + n
 
-let bytes_per_delivery t =
+(* The split charge keeps [wire_bytes] as the sum, so a consumer that
+   only knows the v3 field reconciles: wire = control + payload + any
+   unsplit [on_wire] charges. *)
+let on_wire_split t ~control ~payload =
+  t.control_bytes <- t.control_bytes + control;
+  t.payload_bytes <- t.payload_bytes + payload;
+  t.wire_bytes <- t.wire_bytes + control + payload
+
+let per_delivery t bytes =
   if t.delivered = 0 then Float.nan
-  else float_of_int t.wire_bytes /. float_of_int t.delivered
+  else float_of_int bytes /. float_of_int t.delivered
+
+let bytes_per_delivery t = per_delivery t t.wire_bytes
+
+let control_bytes_per_delivery t = per_delivery t t.control_bytes
+
+let payload_bytes_per_delivery t = per_delivery t t.payload_bytes
 
 let snapshot ~name ?(received = 0) ?(delivered = 0) ?(forced_waits = 0)
-    ?(buffered = 0) ?(wire_bytes = 0) ?latency () =
+    ?(buffered = 0) ?(wire_bytes = 0) ?(control_bytes = 0)
+    ?(payload_bytes = 0) ?latency () =
   {
     name;
     received;
@@ -48,6 +67,8 @@ let snapshot ~name ?(received = 0) ?(delivered = 0) ?(forced_waits = 0)
     forced_waits;
     buffered;
     wire_bytes;
+    control_bytes;
+    payload_bytes;
     latency = (match latency with Some s -> s | None -> Stats.create ());
   }
 
@@ -68,6 +89,8 @@ let combine ?latency ~name parts =
     forced_waits = sum (fun p -> p.forced_waits);
     buffered = sum (fun p -> p.buffered);
     wire_bytes = sum (fun p -> p.wire_bytes);
+    control_bytes = sum (fun p -> p.control_bytes);
+    payload_bytes = sum (fun p -> p.payload_bytes);
     latency;
   }
 

@@ -27,7 +27,15 @@ type t = {
   mutable wire_bytes : int;
       (** encoded bytes this layer moved over the wire — fed by the
           framed delivery path ({!Causalb_core.Fgroup}); zero for
-          in-memory groups, which never serialize *)
+          in-memory groups, which never serialize.  Always the sum of
+          {!field-control_bytes}, {!field-payload_bytes}, and any
+          unsplit {!on_wire} charges, so pre-split consumers reconcile *)
+  mutable control_bytes : int;
+      (** the metadata share of [wire_bytes]: headers, stamps, causal
+          barriers — O(n) per copy for vector-clock engines, O(1) for
+          PC-broadcast.  The headline axis of the scaling bench *)
+  mutable payload_bytes : int;
+      (** the application-data share of [wire_bytes] *)
   latency : Stats.t;
       (** per-message time from pipeline entry to release by this layer *)
 }
@@ -47,11 +55,26 @@ val on_unbuffer : t -> unit
 
 val on_wire : t -> int -> unit
 (** Charge [n] encoded bytes to the layer (one frame length per
-    delivered copy on the framed path). *)
+    delivered copy on the framed path).  Unsplit: the bytes land in
+    [wire_bytes] only.  Prefer {!on_wire_split} where the frame layout
+    is known. *)
+
+val on_wire_split : t -> control:int -> payload:int -> unit
+(** Charge one copy's bytes split into metadata and application data.
+    [wire_bytes] receives the sum, so v3 consumers of the lumped
+    counter keep reconciling. *)
 
 val bytes_per_delivery : t -> float
 (** [wire_bytes / delivered] — the metadata-cost-per-delivery figure of
     the scaling bench; NaN before the first delivery. *)
+
+val control_bytes_per_delivery : t -> float
+(** [control_bytes / delivered]: the O(n)-vs-O(1) scaling axis — what
+    BENCH schema v4 plots per member count.  NaN before the first
+    delivery. *)
+
+val payload_bytes_per_delivery : t -> float
+(** [payload_bytes / delivered]; NaN before the first delivery. *)
 
 val snapshot :
   name:string ->
@@ -60,6 +83,8 @@ val snapshot :
   ?forced_waits:int ->
   ?buffered:int ->
   ?wire_bytes:int ->
+  ?control_bytes:int ->
+  ?payload_bytes:int ->
   ?latency:Stats.t ->
   unit ->
   t

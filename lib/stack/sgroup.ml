@@ -1,13 +1,39 @@
 module Net = Causalb_net.Net
 
-type ('m, 'w) t = { net : 'w Net.t; members : 'm array }
+type ('m, 'w) t = {
+  net : 'w Net.t;
+  mutable members : 'm array;
+  make : int -> 'm;
+  install : ('m, 'w) t -> int -> unit;
+}
 
-let create net ~member ~receive =
-  let members = Array.init (Net.nodes net) member in
-  Array.iteri
-    (fun node m -> Net.set_handler net node (fun ~src:_ w -> receive m w))
-    members;
-  { net; members }
+let install_plain receive t node =
+  Net.set_handler t.net node (fun ~src:_ w -> receive t.members.(node) w)
+
+let install_routed receive t node =
+  Net.set_handler t.net node (fun ~src w -> receive t.members.(node) ~src w)
+
+let build net ~member ~install =
+  let t = { net; members = [||]; make = member; install } in
+  t.members <- Array.init (Net.nodes net) member;
+  Array.iteri (fun node _ -> install t node) t.members;
+  t
+
+let create net ~member ~receive = build net ~member ~install:(install_plain receive)
+
+let create_routed net ~member ~receive =
+  build net ~member ~install:(install_routed receive)
+
+let join t =
+  let id = Net.add_node t.net in
+  let m = t.make id in
+  let members = Array.make (id + 1) m in
+  Array.blit t.members 0 members 0 (Array.length t.members);
+  t.members <- members;
+  t.install t id;
+  id
+
+let leave t node = Net.remove_node t.net node
 
 let net t = t.net
 

@@ -19,6 +19,25 @@ val create :
     [member node] and installs [receive] as that node's network handler.
     The network must not have other handlers on those nodes. *)
 
+val create_routed :
+  'w Net.t ->
+  member:(int -> 'm) ->
+  receive:('m -> src:int -> 'w -> unit) ->
+  ('m, 'w) t
+(** Like {!create} but the handler keeps the sender id.  Link-oriented
+    engines (PC-broadcast) need it: which link a copy arrived on decides
+    flooding fan-out and π_lock buffering. *)
+
+val join : ('m, 'w) t -> int
+(** Register a fresh network endpoint ({!Net.add_node}), build its
+    member with the factory [create] captured, install its handler, and
+    return the new node id.  {!size} grows by one. *)
+
+val leave : ('m, 'w) t -> int -> unit
+(** Retire a member's endpoint ({!Net.remove_node}).  The member value
+    stays in {!members} with its state frozen — departed ids are never
+    reused, so accessors keep working for post-mortem inspection. *)
+
 val net : ('m, 'w) t -> 'w Net.t
 
 val engine : ('m, 'w) t -> Causalb_sim.Engine.t

@@ -13,13 +13,14 @@ module Osend = Causalb_core.Osend
 module Ogroup = Causalb_core.Group
 module Asend = Causalb_core.Asend
 module Message = Causalb_core.Message
+module Pcbcast = Causalb_core.Pcbcast
 
 module Metrics = Causalb_stackbase.Metrics
 
 (* The one generic group wrapper the per-engine [Group] modules now share. *)
 module Group = Causalb_stackbase.Sgroup
 
-type ordering = Fifo | Bss | Psync | Osend
+type ordering = Fifo | Bss | Psync | Osend | Pc
 
 type 'a total =
   | Pass
@@ -40,6 +41,7 @@ type 'a impl =
       group : 'a Ogroup.t;
       sequencer : 'a Asend.Sequencer.t option;
     }
+  | I_pc of 'a Pcbcast.Group.t
 
 type 'a t = {
   engine : Engine.t;
@@ -68,6 +70,7 @@ let ordering_name = function
   | Bss -> "causal:bss"
   | Psync -> "causal:psync"
   | Osend -> "causal:osend"
+  | Pc -> "causal:pc"
 
 (* --- delivery path ------------------------------------------------- *)
 
@@ -93,7 +96,7 @@ let causal_deliver t ~node ~time msg =
      layers do not, so the stack records them here — every composition
      then produces the same trace shape for the offline checkers. *)
   (match (t.trace, t.impl) with
-  | Some tr, (I_fifo _ | I_bss _ | I_psync _) ->
+  | Some tr, (I_fifo _ | I_bss _ | I_psync _ | I_pc _) ->
     Trace.record tr ~time ~node ~kind:Trace.Deliver
       ~tag:(Label.to_string (Message.label msg)) ()
   | _ -> ());
@@ -108,7 +111,7 @@ let compose ?(ordering = Osend) ?(total = Pass) ?(latency = Latency.lan)
     ?(fifo = true) ?fault ?trace
     ?(on_deliver = fun ~node:_ ~time:_ _ -> ()) engine ~nodes () =
   (match (total, ordering) with
-  | Sequencer _, (Fifo | Bss | Psync) ->
+  | Sequencer _, (Fifo | Bss | Psync | Pc) ->
     invalid_arg
       "Stack.compose: a sequencer needs the explicit-dependency causal \
        layer (ordering = Osend)"
@@ -213,6 +216,29 @@ let compose ?(ordering = Osend) ?(total = Pass) ?(latency = Latency.lan)
         | _ -> None
       in
       (I_osend { group; sequencer }, net_closures net)
+    | Pc ->
+      let net = make_net () in
+      let g =
+        Pcbcast.Group.create net
+          ~on_deliver:(fun ~node ~time (e : _ Pcbcast.envelope) ->
+            (* fires for App bodies only; static stacks never carry
+               control traffic, so this covers every causal delivery *)
+            match e.Pcbcast.body with
+            | Pcbcast.Ctrl _ -> ()
+            | Pcbcast.App payload ->
+              let name =
+                if e.Pcbcast.tag = "" then None else Some e.Pcbcast.tag
+              in
+              let label =
+                Label.make ?name ~origin:e.Pcbcast.origin ~seq:e.Pcbcast.seq
+                  ()
+              in
+              dispatch ~node ~time
+                (Message.make ~label ~sender:e.Pcbcast.origin ~dep:Dep.null
+                   payload))
+          ()
+      in
+      (I_pc g, net_closures net)
   in
   let t =
     {
@@ -264,6 +290,13 @@ let submit t ~src ?name ?(dep = Dep.null) payload =
     Label.Tbl.replace t.send_time label now;
     Bss.Group.bcast g ~src ?tag:name payload;
     Some label
+  | I_pc g ->
+    let label = fresh_label () in
+    Label.Tbl.replace t.send_time label now;
+    (* the group's internal counter mirrors [t.seqs]: both 0-based,
+       both bumped once per submit, so its label equals [label] *)
+    ignore (Pcbcast.Group.bcast g ~src ?tag:name payload);
+    Some label
   | I_psync p ->
     let label = Psync.send p ~src ?name payload in
     Label.Tbl.replace t.send_time label now;
@@ -297,19 +330,20 @@ let messages_sent t =
 
 let blocked_on t node =
   match t.impl with
-  | I_fifo _ | I_bss _ -> []
+  | I_fifo _ | I_bss _ | I_pc _ -> []
   | I_psync p -> Osend.blocked_on (Psync.member p node)
   | I_osend { group; _ } -> Osend.blocked_on (Ogroup.member group node)
 
 let osend_group t =
   match t.impl with
   | I_osend { group; _ } -> Some group
-  | I_fifo _ | I_bss _ | I_psync _ -> None
+  | I_fifo _ | I_bss _ | I_psync _ | I_pc _ -> None
 
 let graph t =
   match t.impl with
   | I_psync p -> Some (Osend.graph (Psync.member p 0))
   | I_osend { group; _ } -> Some (Osend.graph (Ogroup.member group 0))
+  | I_pc g -> Some (Pcbcast.Group.graph g)
   | I_fifo _ | I_bss _ -> None
 
 let partition t cells = t.do_partition cells
@@ -345,6 +379,9 @@ let metrics t =
     | I_osend { group; _ } ->
       Metrics.combine ~latency:t.causal_latency ~name:"causal:osend"
         (per_member (fun i -> Osend.metrics (Ogroup.member group i)))
+    | I_pc g ->
+      Metrics.combine ~latency:t.causal_latency ~name:"causal:pc"
+        (per_member (fun i -> Pcbcast.metrics (Pcbcast.Group.member g i)))
   in
   let total =
     match t.impl with
@@ -384,6 +421,7 @@ let layer_guarantees ~ordering ~total ~fifo =
     | Bss -> ("causal:bss", Bss.requires, Bss.provides)
     | Psync -> ("causal:psync", Psync.requires, Psync.provides)
     | Osend -> ("causal:osend", Osend.requires, Osend.provides)
+    | Pc -> ("causal:pc", Pcbcast.requires, Pcbcast.provides)
   in
   let tail =
     match total with
@@ -408,6 +446,7 @@ let guarantee t =
     | I_bss _ -> Bss.provides
     | I_psync _ -> Psync.provides
     | I_osend _ -> Osend.provides
+    | I_pc _ -> Pcbcast.provides
   in
   let transport =
     if t.transport_fifo then Guarantee.Fifo else Guarantee.Unordered
@@ -424,7 +463,8 @@ let describe t =
     | I_fifo _ -> Fifo
     | I_bss _ -> Bss
     | I_psync _ -> Psync
-    | I_osend _ -> Osend)
+    | I_osend _ -> Osend
+    | I_pc _ -> Pc)
   in
   let total = match t.total_name with None -> "" | Some n -> " -> " ^ n in
   Printf.sprintf "transport -> %s%s -> app" causal total

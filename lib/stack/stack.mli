@@ -37,6 +37,10 @@ type ordering =
   | Bss    (** vector-clock CBCAST: inferred potential causality *)
   | Psync  (** conversation contexts: explicit graph, inferred relation *)
   | Osend  (** explicit application dependencies (paper §3.3) *)
+  | Pc
+      (** PC-broadcast: constant-size headers, causal order from FIFO
+          links ([Causalb_core.Pcbcast]).  Requires [fifo = true] — the
+          static verifier flags the unsound composition otherwise. *)
 
 type 'a total =
   | Pass  (** causal delivery goes straight to the application *)
@@ -99,7 +103,7 @@ val messages_sent : 'a t -> int
 val blocked_on : 'a t -> int -> Label.t list
 (** Ancestor labels a node's causal layer is missing entirely (never
     received) — non-empty when a partition swallowed messages.  Always
-    empty for FIFO/BSS, which do not name ancestors. *)
+    empty for FIFO/BSS/Pc, which do not name ancestors. *)
 
 val osend_group : 'a t -> 'a Causalb_core.Group.t option
 (** The underlying OSend group when [ordering = Osend] — recovery
@@ -108,8 +112,9 @@ val osend_group : 'a t -> 'a Causalb_core.Group.t option
 val graph : 'a t -> Causalb_graph.Depgraph.t option
 (** The dependency graph member 0's causal engine extracted from the
     messages it has seen — the [R(M)] the offline checkers audit delivery
-    against.  [Some] for the engines that build one (OSend, Psync), [None]
-    for FIFO/BSS, which never name ancestors.  Do not mutate. *)
+    against.  [Some] for the engines that build one (OSend, Psync, and
+    Pc's shared audit graph), [None] for FIFO/BSS, which never name
+    ancestors.  Do not mutate. *)
 
 val partition : 'a t -> int list list -> unit
 (** Partition the underlying network (see {!Causalb_net.Net.partition}). *)

@@ -107,6 +107,10 @@ let str w s =
 
 let bool_ w b = u8 w (if b then 1 else 0)
 
+let written w =
+  check_open w "written";
+  w.len
+
 let finish w =
   check_open w "finish";
   w.open_ <- false;

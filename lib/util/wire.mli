@@ -69,6 +69,12 @@ val str : writer -> string -> unit
 
 val bool_ : writer -> bool -> unit
 
+val written : writer -> int
+(** Bytes appended so far.  Taking the mark before and after a field
+    group measures its encoded span — how the framed delivery path
+    splits a frame into control and payload bytes without a second
+    encode.  @raise Invalid_argument after {!finish}. *)
+
 (** {1 Reading} *)
 
 val length : frame -> int

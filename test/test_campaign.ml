@@ -218,9 +218,26 @@ let test_generation_deterministic () =
     List.sort_uniq compare
       (List.map (fun c -> D.stack_spec_name c.C.spec) a)
   in
-  check_int "all 7 compositions covered" 7 (List.length specs);
+  check_int "all 8 compositions covered" 8 (List.length specs);
   let c = C.generate ~base_seed:8 ~seeds:21 () in
   check "base seed changes the cases" true (a <> c)
+
+let test_churn_generation () =
+  let cases = C.generate ~base_seed:7 ~churn:true ~seeds:6 () in
+  check "churn pins the composition to pc" true
+    (List.for_all (fun c -> c.C.spec = D.Pc_stack) cases);
+  check "every churn case has membership events" true
+    (List.for_all
+       (fun c -> Causalb_net.Nemesis.has_churn c.C.nemesis)
+       cases);
+  (* churn cases replay identically and the generated guards keep every
+     schedule well-formed: all clean on a healthy protocol *)
+  List.iter
+    (fun case ->
+      let v1 = C.run_case case and v2 = C.run_case case in
+      check "churn verdict replays identically" true (v1 = v2);
+      check ("clean churn case passes: " ^ C.describe case) true v1.C.ok)
+    cases
 
 let test_run_case_deterministic () =
   List.iter
@@ -275,6 +292,7 @@ let () =
       ( "campaign",
         [
           Alcotest.test_case "generation" `Quick test_generation_deterministic;
+          Alcotest.test_case "churn generation" `Quick test_churn_generation;
           Alcotest.test_case "case verdicts" `Quick
             test_run_case_deterministic;
           Alcotest.test_case "parallel = sequential" `Quick

@@ -260,6 +260,42 @@ let test_determinism_same_seed () =
   in
   check "identical delivery schedule" true (run () = run ())
 
+(* The PR 10 regression: a heal only clears partition cells, so it must
+   never resurrect an endpoint removed by [remove_node] — departure wins
+   over every later membership event. *)
+let test_departed_survives_heal () =
+  let e, net = make ~nodes:4 () in
+  let got2 = collect net 2 in
+  Net.remove_node net 2;
+  Net.partition net [ [ 0; 1 ]; [ 2; 3 ] ];
+  Net.send net ~src:0 ~dst:2 "during partition";
+  Net.heal net;
+  Net.send net ~src:0 ~dst:2 "after heal";
+  Net.send net ~src:2 ~dst:0 "from the dead";
+  Engine.run e;
+  check "departed endpoint stays silent" true (got2 () = []);
+  check "departed flag persists across heal" true (Net.is_departed net 2);
+  (* all three copies were departure drops: the partition never saw
+     them (departure wins), and the heal did not bring the node back *)
+  check_int "departure drops" 3 (Net.dropped_by_departure net);
+  check_int "partition drops" 0 (Net.dropped_by_partition net);
+  check_int "lost copies include departures" 3 (Net.lost_copies net)
+
+let test_join_under_partition_isolated () =
+  let e, net = make ~nodes:3 () in
+  Net.partition net [ [ 0; 1 ]; [ 2 ] ];
+  let id = Net.add_node net in
+  check_int "fresh id allocated past the founders" 3 id;
+  let got = collect net id in
+  Net.send net ~src:0 ~dst:id "into the singleton";
+  Engine.run e;
+  check "joiner is isolated until heal" true (got () = []);
+  Net.heal net;
+  Net.send net ~src:0 ~dst:id "after heal";
+  Engine.run e;
+  check "joiner reachable after heal" true
+    (got () = [ (0, "after heal") ])
+
 let () =
   Alcotest.run "net"
     [
@@ -292,6 +328,13 @@ let () =
             test_partition_unlisted_singleton;
           Alcotest.test_case "duplicate membership" `Quick
             test_partition_duplicate_membership_rejected;
+        ] );
+      ( "membership",
+        [
+          Alcotest.test_case "departed survives heal" `Quick
+            test_departed_survives_heal;
+          Alcotest.test_case "join under partition" `Quick
+            test_join_under_partition_isolated;
         ] );
       ( "misc",
         [

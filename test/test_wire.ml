@@ -31,6 +31,7 @@ module Bss = Causalb_core.Bss
 module Group = Causalb_core.Group
 module Psync = Causalb_core.Psync
 module Fgroup = Causalb_core.Fgroup
+module Pcb = Causalb_core.Pcbcast
 module Rbss = Causalb_reference.Bss
 module Metrics = Causalb_stackbase.Metrics
 
@@ -80,6 +81,30 @@ let test_extremes () =
        ignore (Codec.encode pool (fun w v -> Wire.u8 w v) 256);
        false
      with Invalid_argument _ -> true)
+
+(* Large-magnitude varints: the PC header carries member ids and
+   per-origin sequence numbers as bare varints, and long-lived dynamic
+   groups push both past the one-, two- and three-byte boundaries —
+   ids beyond 2^21, seqs beyond 2^28 must round-trip and stay compact. *)
+let prop_varint_header_magnitudes =
+  test "wire: varints at PC-header magnitudes"
+    QCheck2.Gen.(
+      pair (0x200000 -- 0x2000000) (0x10000000 -- 0x10000000000))
+    (fun (id, seq) ->
+      roundtrip Wire.uint Wire.r_uint id = id
+      && roundtrip Wire.uint Wire.r_uint seq = seq
+      && roundtrip Wire.int Wire.r_int (-seq) = -seq)
+
+let test_varint_magnitude_sizes () =
+  let size v = Wire.length (Codec.encode pool Wire.uint v) in
+  (* 7 bits per byte: the boundaries where a varint grows *)
+  check_int "2^21 id is 4 bytes" 4 (size 0x200000);
+  check_int "2^28 seq is 5 bytes" 5 (size 0x10000000);
+  check_int "2^28 - 1 is 4 bytes" 4 (size 0xFFFFFFF);
+  List.iter
+    (fun v -> check_int "uint large round-trip" v
+        (roundtrip Wire.uint Wire.r_uint v))
+    [ 0x200000; 0x200001; 0x10000000; 0x123456789A; max_int ]
 
 (* --- generators for protocol values --- *)
 
@@ -176,6 +201,52 @@ let prop_envelope_roundtrip =
       && Vc.equal e'.Bss.stamp e.Bss.stamp
       && e'.Bss.tag = e.Bss.tag
       && e'.Bss.payload = e.Bss.payload)
+
+(* PC wire frames: every discriminator case, with ids and seqs at the
+   magnitudes a long-lived dynamic group reaches. *)
+let pc_wire_gen =
+  let open QCheck2.Gen in
+  let* origin = oneof [ int_range 0 7; int_range 0x200000 0x2000000 ] in
+  let* seq = oneof [ int_range 0 1000; int_range 0x10000000 0x20000000 ] in
+  let* tag = string_size ~gen:printable (0 -- 8) in
+  let* body =
+    oneof
+      [
+        ( string_size ~gen:(char_range '\000' '\255') (0 -- 16) >|= fun p ->
+          Pcb.App p );
+        (int_range 0 0x300000 >|= fun t -> Pcb.Ctrl (Pcb.Unlock { target = t }));
+        (int_range 0 0x300000 >|= fun n -> Pcb.Ctrl (Pcb.Joined { node = n }));
+      ]
+  in
+  oneofl [ Pcb.Env { Pcb.origin; seq; tag; body }; Pcb.Lock ]
+
+let prop_pc_roundtrip =
+  test "codec: pc wire round-trip" pc_wire_gen (fun w ->
+      roundtrip (Codec.put_pc Codec.put_str) (Codec.get_pc Codec.get_str) w
+      = w)
+
+(* The split the metrics layer charges: an App frame's control span is
+   the whole frame minus the payload bytes; control frames are all
+   control.  [encode_pc] must agree with what [put_pc] writes. *)
+let test_pc_encode_split () =
+  let app =
+    Pcb.Env { Pcb.origin = 3; seq = 9; tag = "t"; body = Pcb.App "payload" }
+  in
+  let frame, span = Codec.encode_pc pool Codec.put_str app in
+  check "pc app payload span positive" true (span > 0);
+  check "pc app span < frame" true (span < Wire.length frame);
+  check "pc app decodes" true
+    (Codec.decode (Codec.get_pc Codec.get_str) frame = app);
+  let lock_frame, lock_span = Codec.encode_pc pool Codec.put_str Pcb.Lock in
+  check_int "pc lock is all control" 0 lock_span;
+  check "pc lock decodes" true
+    (Codec.decode (Codec.get_pc Codec.get_str) lock_frame = Pcb.Lock);
+  let ctrl =
+    Pcb.Env
+      { Pcb.origin = 1; seq = 0; tag = ""; body = Pcb.Ctrl (Pcb.Joined { node = 5 }) }
+  in
+  let _, ctrl_span = Codec.encode_pc pool Codec.put_str ctrl in
+  check_int "pc ctrl is all control" 0 ctrl_span
 
 (* --- truncation hardening --- *)
 
@@ -414,7 +485,10 @@ let () =
           prop_uint_roundtrip;
           prop_int_roundtrip;
           prop_str_roundtrip;
+          prop_varint_header_magnitudes;
           Alcotest.test_case "extremes and rejections" `Quick test_extremes;
+          Alcotest.test_case "varint magnitude boundaries" `Quick
+            test_varint_magnitude_sizes;
         ] );
       ( "codec",
         [
@@ -423,6 +497,8 @@ let () =
           prop_clock_roundtrip;
           prop_message_roundtrip;
           prop_envelope_roundtrip;
+          prop_pc_roundtrip;
+          Alcotest.test_case "pc encode split" `Quick test_pc_encode_split;
           prop_truncated_fails;
           Alcotest.test_case "trailing/corrupt frames" `Quick
             test_trailing_bytes;
